@@ -1,0 +1,325 @@
+package repex
+
+// One testing.B benchmark per table and figure of the paper's evaluation
+// (Section 4), plus ablation benchmarks for the design decisions called
+// out in DESIGN.md. Each figure benchmark executes the full RepEx stack
+// (orchestrator, engine adapter, pilot runtime, cluster model) in quick
+// mode; `go run ./cmd/experiments` regenerates the full-scale artefacts.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/engines"
+	"repro/internal/exchange"
+	"repro/internal/pilot"
+	"repro/internal/sim"
+)
+
+func BenchmarkFig04Validation(b *testing.B) {
+	opts := bench.DefaultValidationOptions()
+	opts.TWindows, opts.UWindows = 2, 4
+	opts.StepsPerCycle, opts.Cycles = 100, 2
+	opts.Bins = 16
+	for i := 0; i < b.N; i++ {
+		opts.Seed = int64(i + 1)
+		if _, _, err := bench.Fig4Validation(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig05Overheads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bench.Fig5Overheads(true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig06Weak1D(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bench.Fig6Weak1D(true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig07Efficiency1D(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bench.Fig7Efficiency1D(true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig08NAMD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bench.Fig8NAMD(true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig09WeakTSU(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bench.Fig9WeakTSU(true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10StrongTSU(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bench.Fig10StrongTSU(true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11EfficiencyTSU(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bench.Fig11EfficiencyTSU(true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12MultiCore(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bench.Fig12MultiCore(true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig13Utilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bench.Fig13Utilization(true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTab01Comparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := bench.Table1Comparison()
+		if len(tbl.Rows) != 8 {
+			b.Fatal("table incomplete")
+		}
+	}
+}
+
+// --- Ablation benchmarks (design decisions from DESIGN.md) ---
+
+// tremdSpec builds a small T-REMD workload for ablations.
+func ablationSpec(n, cycles int, pattern Pattern, window float64) *Spec {
+	return &Spec{
+		Name:            "ablation",
+		Dims:            []Dimension{{Type: Temperature, Values: GeometricTemperatures(273, 373, n)}},
+		Pattern:         pattern,
+		CoresPerReplica: 1,
+		StepsPerCycle:   6000,
+		Cycles:          cycles,
+		AsyncWindow:     window,
+		Seed:            7,
+	}
+}
+
+// BenchmarkAblationModeIIBatchRatio sweeps the paper's geometric
+// core-to-replica ratios (1, 1/2, 1/4, 1/8, 1/16) and reports the cycle
+// time of each, quantifying the cost of Execution Mode II batching.
+func BenchmarkAblationModeIIBatchRatio(b *testing.B) {
+	const replicas = 128
+	for i := 0; i < b.N; i++ {
+		prev := 0.0
+		for _, denom := range []int{1, 2, 4, 8, 16} {
+			rep, err := RunVirtual(ablationSpec(replicas, 2, PatternSynchronous, 0),
+				SuperMIC(), replicas/denom, AmberSander, 2881, int64(denom))
+			if err != nil {
+				b.Fatal(err)
+			}
+			ct := rep.AvgCycleTime()
+			if ct <= prev {
+				b.Fatalf("cycle time %v did not grow at ratio 1/%d", ct, denom)
+			}
+			prev = ct
+			b.ReportMetric(ct, "cycle_s/ratio_1_"+itoa(denom))
+		}
+	}
+}
+
+// BenchmarkAblationSyncVsAsync compares the utilization of the two RE
+// patterns on identical workloads (the barrier-cost ablation).
+func BenchmarkAblationSyncVsAsync(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := SuperMIC()
+		cfg.ExecJitter = 0.06
+		syncRep, err := RunVirtual(ablationSpec(64, 3, PatternSynchronous, 0), cfg, 64, AmberSander, 2881, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		asyncRep, err := RunVirtual(ablationSpec(64, 3, PatternAsynchronous, 100), cfg, 64, AmberSander, 2881, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if syncRep.Utilization() <= asyncRep.Utilization() {
+			b.Fatal("sync barrier lost its utilization advantage")
+		}
+		b.ReportMetric(100*syncRep.Utilization(), "sync_util_%")
+		b.ReportMetric(100*asyncRep.Utilization(), "async_util_%")
+	}
+}
+
+// BenchmarkAblationAsyncWindow sweeps the asynchronous real-time window,
+// showing the utilization cost of coarser windows.
+func BenchmarkAblationAsyncWindow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, w := range []float64{30, 60, 120, 240} {
+			cfg := SuperMIC()
+			cfg.ExecJitter = 0.06
+			rep, err := RunVirtual(ablationSpec(48, 3, PatternAsynchronous, w), cfg, 48, AmberSander, 2881, 3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(100*rep.Utilization(), "util_%_w"+ftoa(w))
+		}
+	}
+}
+
+// BenchmarkAblationPairing compares nearest-neighbour alternating
+// pairing against random pairing on acceptance probability under the
+// synthetic T-REMD energetics: neighbour pairing accepts far more often
+// because adjacent windows overlap.
+func BenchmarkAblationPairing(b *testing.B) {
+	ladder := GeometricTemperatures(273, 373, 32)
+	betas := make([]float64, len(ladder))
+	for i, t := range ladder {
+		betas[i] = 1 / (0.0019872041 * t)
+	}
+	energy := func(rng *rand.Rand, slot int) float64 {
+		t := ladder[slot]
+		return 2.0*(t-300) + 24.4*rng.NormFloat64() // CvEff=2 model
+	}
+	group := make([]int, len(ladder))
+	for i := range group {
+		group[i] = i
+	}
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i + 1)))
+		meanProb := func(pairs []exchange.Pair) float64 {
+			if len(pairs) == 0 {
+				return 0
+			}
+			sum := 0.0
+			for _, pr := range pairs {
+				sum += exchange.AcceptTemperature(
+					betas[pr.I], betas[pr.J], energy(rng, pr.I), energy(rng, pr.J))
+			}
+			return sum / float64(len(pairs))
+		}
+		var neighbor, random float64
+		const sweeps = 200
+		for s := 0; s < sweeps; s++ {
+			neighbor += meanProb(exchange.NeighborPairs(group, s))
+			random += meanProb(exchange.RandomPairs(group, rng))
+		}
+		neighbor /= sweeps
+		random /= sweeps
+		if neighbor <= random {
+			b.Fatalf("neighbour pairing acceptance %v not above random %v", neighbor, random)
+		}
+		b.ReportMetric(neighbor, "neighbor_acc")
+		b.ReportMetric(random, "random_acc")
+	}
+}
+
+// BenchmarkAblationStagingFS compares staging through the shared
+// filesystem's serialized metadata server against an idealised
+// node-local scratch (zero metadata latency): the paper's data-time
+// component disappears.
+func BenchmarkAblationStagingFS(b *testing.B) {
+	run := func(meta float64, seed int64) *Report {
+		cfg := SuperMIC()
+		cfg.FS.MetaLatency = meta
+		rep, err := RunVirtual(ablationSpec(128, 2, PatternSynchronous, 0), cfg, 128, AmberSander, 2881, seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return rep
+	}
+	for i := 0; i < b.N; i++ {
+		shared := run(SuperMIC().FS.MetaLatency, int64(i))
+		local := run(0, int64(i))
+		ds, dl := shared.Decompose(), local.Decompose()
+		if ds.TData <= dl.TData {
+			b.Fatal("shared-FS staging not slower than node-local scratch")
+		}
+		b.ReportMetric(ds.TData, "tdata_shared_s")
+		b.ReportMetric(dl.TData, "tdata_local_s")
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+func ftoa(v float64) string { return itoa(int(v)) }
+
+// Compile-time checks that the ablations use the intended backends.
+var (
+	_ = cluster.Stampede
+	_ = engines.SanderModel
+	_ core.Engine
+)
+
+// BenchmarkAblationGPUEngine compares the pmemd.cuda GPU cost model
+// against serial sander on the same T-REMD workload (the paper's GPU
+// extension): MD time should drop by ~GPUSpeedup.
+func BenchmarkAblationGPUEngine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		spec1 := ablationSpec(32, 2, PatternSynchronous, 0)
+		cpu, err := RunVirtual(spec1, SuperMIC(), 32, AmberSander, 2881, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		env := sim.NewEnv()
+		cl := cluster.MustNew(env, SuperMIC(), 6)
+		pl, err := pilot.Launch(cl, pilot.Description{Cores: 32, Walltime: 1e12})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng := engines.NewPmemdCudaVirtual(2881, 7)
+		var gpu *core.Report
+		env.Go("emm", func(p *sim.Proc) {
+			rt := pilot.NewRuntime(pl, p)
+			spec2 := ablationSpec(32, 2, PatternSynchronous, 0)
+			simu, err := core.New(spec2, eng, rt)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			gpu, _ = simu.Run()
+		})
+		env.Run()
+		dc, dg := cpu.Decompose(), gpu.Decompose()
+		if dg.TMD >= dc.TMD/8 {
+			b.Fatalf("GPU MD time %v not far below CPU %v", dg.TMD, dc.TMD)
+		}
+		b.ReportMetric(dc.TMD, "cpu_md_s")
+		b.ReportMetric(dg.TMD, "gpu_md_s")
+	}
+}

@@ -1,0 +1,103 @@
+// Command repex runs a replica-exchange simulation described by a JSON
+// simulation file and a JSON resource file, in virtual time on the
+// modelled cluster — the reproduction's equivalent of the RepEx
+// command-line entry points (repex-amber-t, repex-namd-t, ...).
+//
+// Usage:
+//
+//	repex -sim simulation.json -res resource.json
+//
+// The simulation file follows internal/config.Simulation, e.g.:
+//
+//	{
+//	  "name": "tsu-demo", "engine": "amber", "atoms": 2881,
+//	  "dimensions": [
+//	    {"type": "T", "count": 6, "min": 273, "max": 373},
+//	    {"type": "S", "values": [0.1, 0.2, 0.4]},
+//	    {"type": "U", "count": 8, "torsion": "phi"}
+//	  ],
+//	  "cores_per_replica": 1, "steps_per_cycle": 6000, "cycles": 4
+//	}
+//
+// and the resource file internal/config.Resource:
+//
+//	{"machine": "supermic", "pilot_cores": 144}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/engines"
+)
+
+func main() {
+	simPath := flag.String("sim", "", "simulation JSON file (required)")
+	resPath := flag.String("res", "", "resource JSON file (required)")
+	flag.Parse()
+	if *simPath == "" || *resPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*simPath, *resPath); err != nil {
+		fmt.Fprintln(os.Stderr, "repex:", err)
+		os.Exit(1)
+	}
+}
+
+func run(simPath, resPath string) error {
+	simData, err := os.ReadFile(simPath)
+	if err != nil {
+		return err
+	}
+	resData, err := os.ReadFile(resPath)
+	if err != nil {
+		return err
+	}
+	simFile, err := config.ParseSimulation(simData)
+	if err != nil {
+		return err
+	}
+	spec, err := simFile.ToSpec()
+	if err != nil {
+		return err
+	}
+	machine, pilotCores, err := config.ParseResource(resData)
+	if err != nil {
+		return err
+	}
+	newEngine := func(seed int64) core.Engine {
+		switch simFile.Engine {
+		case "amber-pmemd":
+			return engines.NewPmemdVirtual(simFile.Atoms, seed)
+		case "namd":
+			return engines.NewNAMDVirtual(simFile.Atoms, seed)
+		default:
+			return engines.NewAmberVirtual(simFile.Atoms, seed)
+		}
+	}
+	report, err := bench.Run(bench.RunParams{
+		Spec:       spec,
+		Cluster:    machine,
+		PilotCores: pilotCores,
+		NewEngine:  newEngine,
+		Seed:       spec.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.String())
+	d := report.Decompose()
+	fmt.Printf("Eq.1 decomposition per cycle: T_MD=%.1fs T_EX=%.1fs T_data=%.2fs T_RepEx=%.2fs T_RP=%.2fs\n",
+		d.TMD, d.TEX, d.TData, d.TRepEx, d.TRP)
+	for dim := range spec.Dims {
+		tmd, tex := report.DimDecompose(dim)
+		fmt.Printf("  dim %d (%s): MD %.1fs, exchange %.1fs, acceptance %.1f%%\n",
+			dim, spec.Dims[dim].Type, tmd, tex, 100*report.AcceptanceRatioByDim(dim))
+	}
+	return nil
+}

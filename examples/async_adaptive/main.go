@@ -1,0 +1,53 @@
+// async_adaptive: the asynchronous RE pattern under adverse conditions —
+// more replicas than cores (Execution Mode II) on a small commodity
+// cluster, with fault injection and the relaunch policy. This is the
+// scenario the paper motivates in §2.1: heterogeneous performance,
+// failures, and fluctuating resources, where the global barrier of
+// synchronous REMD would stall everything.
+//
+// The same workload is run with both patterns for comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	repex "repro"
+)
+
+func main() {
+	run := func(pattern repex.Pattern) *repex.Report {
+		spec := &repex.Spec{
+			Name:            "async-adaptive",
+			Dims:            []repex.Dimension{{Type: repex.Temperature, Values: repex.GeometricTemperatures(273, 373, 48)}},
+			Pattern:         pattern,
+			CoresPerReplica: 1,
+			StepsPerCycle:   6000,
+			Cycles:          4,
+			FaultPolicy:     repex.FaultRelaunch,
+			Seed:            13,
+		}
+		if pattern == repex.PatternAsynchronous {
+			spec.AsyncWindow = 90 // fixed real-time transition criterion
+		}
+		// A small 2-node cluster: 16 cores for 48 replicas -> Mode II,
+		// with a 2% per-task failure probability.
+		machine := repex.Small(2, 8)
+		machine.FailureProb = 0.02
+		report, err := repex.RunVirtual(spec, machine, 16, repex.AmberSander, 2881, 13)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return report
+	}
+
+	for _, pattern := range []repex.Pattern{repex.PatternSynchronous, repex.PatternAsynchronous} {
+		report := run(pattern)
+		fmt.Print(report.String())
+		fmt.Printf("  exchange events: %d, relaunched tasks: %d, dropped replicas: %d\n\n",
+			report.ExchangeEvents, report.Relaunches, report.Dropped)
+	}
+	fmt.Println("48 replicas ran on 16 cores (Execution Mode II): the replica count")
+	fmt.Println("is decoupled from the allocation, and injected task failures were")
+	fmt.Println("absorbed by relaunching without restarting the simulation.")
+}

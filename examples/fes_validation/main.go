@@ -1,0 +1,40 @@
+// fes_validation: the paper's §3.4 validation pipeline at reduced scale.
+// A 3D T×U(φ)×U(ψ) replica-exchange simulation of alanine dipeptide runs
+// with the real Go MD engine on local cores; the per-window trajectories
+// are then unbiased with WHAM (the vFEP substitute) into one
+// free-energy surface per temperature, reproducing Figure 4's layout.
+//
+// Higher temperatures visit more of the (φ, ψ) torus: compare the
+// sampled coverage across the panels.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	opts := bench.DefaultValidationOptions()
+	// Slightly deeper sampling than the defaults so the surfaces show
+	// visible basin structure; the paper's full protocol is
+	// 6 T x 8x8 U windows, 20000 steps x 90 cycles on 400 cores.
+	opts.UWindows = 6
+	opts.StepsPerCycle = 500
+	opts.Cycles = 4
+
+	res, tbl, err := bench.Fig4Validation(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tbl.String())
+	fmt.Printf("replica grid: %d T x %d x %d U = %d replicas; acceptance T=%.1f%% U=%.1f%%\n\n",
+		opts.TWindows, opts.UWindows, opts.UWindows,
+		opts.TWindows*opts.UWindows*opts.UWindows, 100*res.AcceptT, 100*res.AcceptU)
+	for i, f := range res.Surfaces {
+		fmt.Printf("-- T = %.0f K (x: phi, y: psi; darker = higher free energy; '?' unsampled) --\n",
+			res.Temperatures[i])
+		fmt.Println(f.Render(""))
+	}
+}

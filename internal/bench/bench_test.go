@@ -1,0 +1,285 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exchange"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{Title: "demo", Header: []string{"a", "bb"}}
+	tbl.AddRow("1", "2")
+	tbl.AddNote("note %d", 7)
+	s := tbl.String()
+	for _, want := range []string{"== demo ==", "a", "bb", "# note 7"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("table output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunHelper(t *testing.T) {
+	rep, err := run1D(exchange.Temperature, 8, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Replicas != 8 || rep.Cycles != 1 {
+		t.Fatalf("report %d/%d", rep.Replicas, rep.Cycles)
+	}
+}
+
+func TestCubeSideFor(t *testing.T) {
+	cases := map[int]int{64: 4, 216: 6, 512: 8, 1000: 10, 1728: 12, 65: 5}
+	for n, want := range cases {
+		if got := cubeSideFor(n); got != want {
+			t.Errorf("cubeSideFor(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestFig5Shapes(t *testing.T) {
+	rows, tbl, err := Fig5Overheads(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(QuickReplicaCounts) {
+		t.Fatalf("rows %d", len(rows))
+	}
+	last := rows[len(rows)-1]
+	first := rows[0]
+	// Data times ordered T < U < S (the paper's file-set ordering).
+	if !(last.TData < last.UData && last.UData < last.SData) {
+		t.Fatalf("data times not ordered T<U<S: %+v", last)
+	}
+	// RP overhead proportional to replicas.
+	if last.RPOver <= 2*first.RPOver {
+		t.Fatalf("RP overhead not growing with replicas: %v -> %v", first.RPOver, last.RPOver)
+	}
+	// RepEx overhead larger for 3D than 1D.
+	if last.RepEx3D <= last.RepEx1D {
+		t.Fatalf("RepEx 3D overhead %v not above 1D %v", last.RepEx3D, last.RepEx1D)
+	}
+	// Data times stay small (paper max 6.3 s even at 1728).
+	if last.SData > 10 {
+		t.Fatalf("S data time %v unreasonably large", last.SData)
+	}
+	if tbl == nil || len(tbl.Rows) != len(rows) {
+		t.Fatal("table out of sync with rows")
+	}
+}
+
+func TestFig6Shapes(t *testing.T) {
+	rows, _, err := Fig6Weak1D(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// MD bars flat at ~139.6 s for all three exchange types.
+		for _, md := range []float64{r.MDT, r.MDU, r.MDS} {
+			if md < 135 || md > 145 {
+				t.Fatalf("MD time %v outside 139.6±5 (replicas %d)", md, r.Replicas)
+			}
+		}
+		// T and U exchange close; S substantially longer.
+		if r.EXU < 0.8*r.EXT || r.EXU > 1.35*r.EXT {
+			t.Fatalf("EX(U) %v not close to EX(T) %v", r.EXU, r.EXT)
+		}
+		if r.EXS < 5*r.EXT {
+			t.Fatalf("EX(S) %v not substantially above EX(T) %v", r.EXS, r.EXT)
+		}
+	}
+	// Exchange grows with replica count.
+	if rows[len(rows)-1].EXT <= rows[0].EXT {
+		t.Fatal("EX(T) not growing with replicas")
+	}
+	if rows[len(rows)-1].EXS <= rows[0].EXS {
+		t.Fatal("EX(S) not growing with replicas")
+	}
+}
+
+func TestFig7Shapes(t *testing.T) {
+	rows, _, err := Fig7Efficiency1D(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].EffT != 100 || rows[0].EffNone != 100 {
+		t.Fatal("baseline efficiency not 100%")
+	}
+	last := rows[len(rows)-1]
+	// Efficiency decreases with core count; the no-exchange baseline is
+	// the highest series.
+	if last.EffT >= 100 || last.EffNone >= 100 {
+		t.Fatalf("efficiency did not decrease: %+v", last)
+	}
+	if last.EffNone <= last.EffT-1 {
+		t.Fatalf("no-exchange efficiency %v not above T-REMD %v", last.EffNone, last.EffT)
+	}
+}
+
+func TestFig8Shapes(t *testing.T) {
+	rows, _, err := Fig8NAMD(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// NAMD 4000 steps of 2881 atoms: ~230 s on SuperMIC.
+		if r.MD < 215 || r.MD > 245 {
+			t.Fatalf("NAMD MD time %v outside ~230±15", r.MD)
+		}
+		if r.EX <= 0 {
+			t.Fatal("missing exchange time")
+		}
+	}
+	if rows[len(rows)-1].EX <= rows[0].EX {
+		t.Fatal("NAMD exchange not growing")
+	}
+}
+
+func TestFig9Shapes(t *testing.T) {
+	rows, _, err := Fig9WeakTSU(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// Full-cycle MD across three dimensions: ~495 s on Stampede.
+		if r.MD < 480 || r.MD > 510 {
+			t.Fatalf("TSU MD %v outside ~495±15", r.MD)
+		}
+		// Salt dimension dominates the exchange cost.
+		if r.EXS < 3*r.EXT {
+			t.Fatalf("S exchange %v not dominant over T %v", r.EXS, r.EXT)
+		}
+		// T and U exchanges similar.
+		if r.EXU < 0.7*r.EXT || r.EXU > 1.5*r.EXT {
+			t.Fatalf("U exchange %v not similar to T %v", r.EXU, r.EXT)
+		}
+	}
+}
+
+func TestFig10Shapes(t *testing.T) {
+	rows, _, err := Fig10StrongTSU(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All but the last point are Execution Mode II.
+	for i, r := range rows {
+		if i < len(rows)-1 && r.Mode != core.ModeII {
+			t.Fatalf("point %d mode %v, want II", i, r.Mode)
+		}
+	}
+	if rows[len(rows)-1].Mode != core.ModeI {
+		t.Fatal("final point should be Mode I")
+	}
+	// MD phase time decreases as cores grow, roughly proportionally.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].MD >= rows[i-1].MD {
+			t.Fatalf("MD wall did not decrease: %v -> %v", rows[i-1].MD, rows[i].MD)
+		}
+	}
+	ratio := rows[0].MD / rows[1].MD
+	if ratio < 1.4 || ratio > 2.6 {
+		t.Fatalf("MD halving ratio %v, want ~2 when cores double", ratio)
+	}
+	// S exchange shrinks with cores (its waves parallelize); T/U ~flat.
+	if rows[0].EXS <= rows[len(rows)-1].EXS {
+		t.Fatal("S exchange did not shrink with cores")
+	}
+}
+
+func TestFig12Shapes(t *testing.T) {
+	rows, _, err := Fig12MultiCore(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Executable != "sander" || rows[0].CoresPerReplica != 1 {
+		t.Fatalf("first point should be single-core sander: %+v", rows[0])
+	}
+	if rows[1].Executable != "pmemd.MPI" {
+		t.Fatalf("multi-core points should use pmemd.MPI: %+v", rows[1])
+	}
+	// Large drop from 1 to 16 cores per replica.
+	if rows[1].MD >= rows[0].MD/4 {
+		t.Fatalf("MD %v -> %v: drop too small", rows[0].MD, rows[1].MD)
+	}
+}
+
+func TestFig13Shapes(t *testing.T) {
+	rows, _, err := Fig13Utilization(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.SyncUtil <= r.AsyncUtil {
+			t.Fatalf("sync utilization %v not above async %v at %d replicas",
+				r.SyncUtil, r.AsyncUtil, r.Replicas)
+		}
+		if r.SyncUtil < 40 || r.SyncUtil > 95 {
+			t.Fatalf("sync utilization %v outside plausible range", r.SyncUtil)
+		}
+		gap := r.SyncUtil - r.AsyncUtil
+		if gap < 3 || gap > 25 {
+			t.Fatalf("utilization gap %v pp outside the paper's ballpark", gap)
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	pkgs := Table1Packages()
+	if len(pkgs) != 7 {
+		t.Fatalf("packages %d, want 7", len(pkgs))
+	}
+	if problems := RepExCapabilities(); len(problems) != 0 {
+		t.Fatalf("self-check failed: %v", problems)
+	}
+	tbl := Table1Comparison()
+	s := tbl.String()
+	for _, want := range []string{"RepEx", "sync, async", "Charm++/NAMD MCA", "524288"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Table 1 missing %q", want)
+		}
+	}
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("Table 1 rows %d, want 8 features", len(tbl.Rows))
+	}
+}
+
+func TestFig4ValidationReduced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-MD validation is slow")
+	}
+	opts := DefaultValidationOptions()
+	opts.TWindows = 2
+	opts.UWindows = 4
+	opts.StepsPerCycle = 150
+	opts.Cycles = 2
+	opts.Bins = 16
+	res, tbl, err := Fig4Validation(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Surfaces) != 2 {
+		t.Fatalf("surfaces %d, want one per temperature", len(res.Surfaces))
+	}
+	for i, f := range res.Surfaces {
+		if f.CoveredFraction() < 0.12 {
+			t.Fatalf("T%d: FES coverage %v too low (umbrella windows should cover the torus)",
+				i, f.CoveredFraction())
+		}
+	}
+	// Exchanges must actually happen in the T dimension (the small real
+	// system has overlapping energy distributions). The U dimensions
+	// use the paper's stiff harmonic windows 90° apart, whose genuine
+	// Metropolis acceptance is ~0 at this reduced window count — see
+	// EXPERIMENTS.md for the discussion.
+	if res.AcceptT <= 0 {
+		t.Fatal("no temperature exchanges accepted in the real run")
+	}
+	if res.AcceptU < 0 || res.AcceptU > 1 || res.AcceptT > 1 {
+		t.Fatalf("acceptance ratios out of range: T=%v U=%v", res.AcceptT, res.AcceptU)
+	}
+	if tbl == nil || len(tbl.Rows) != 2 {
+		t.Fatal("validation table malformed")
+	}
+}

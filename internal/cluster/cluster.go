@@ -1,0 +1,276 @@
+// Package cluster models an HPC machine in virtual time: a pool of
+// compute nodes, a batch queue with pilot provisioning delay, a shared
+// parallel filesystem whose metadata server serializes per-file
+// operations, per-task launch overheads and probabilistic task failures.
+//
+// The model substitutes for the XSEDE machines (Stampede, SuperMIC) used
+// in the RepEx paper. Its purpose is not cycle accuracy but preserving the
+// queueing, contention and overhead *shapes* the paper measures: data
+// times dominated by metadata traffic, RADICAL-Pilot launch overhead
+// proportional to the number of concurrently launched tasks, and the
+// Execution Mode II wave-scheduling penalty.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// FSConfig describes the shared parallel filesystem.
+type FSConfig struct {
+	// MetaLatency is the service time of one metadata operation (file
+	// create/open) at the metadata server, which handles operations one
+	// at a time. Many small staged files therefore serialize here,
+	// which is what makes the paper's "data time" grow with replica
+	// count even though payloads are tiny.
+	MetaLatency float64
+	// Bandwidth is the aggregate transfer bandwidth in bytes/second.
+	Bandwidth float64
+}
+
+// Config describes a machine.
+type Config struct {
+	Name         string
+	Nodes        int
+	CoresPerNode int
+	// SpeedFactor scales compute durations: a task that takes D seconds
+	// on the reference machine takes D/SpeedFactor here.
+	SpeedFactor float64
+	// QueueWait is the batch-queue wait before a pilot's allocation
+	// becomes active.
+	QueueWait float64
+	// LaunchGap is the serialization gap of the pilot agent's task
+	// launcher: successive task launches are spaced by at least this
+	// much, making launch overhead proportional to the task count.
+	LaunchGap float64
+	// LaunchLatency is the fixed per-task launch cost once the launcher
+	// picks the task up.
+	LaunchLatency float64
+	// WavePenalty is the extra scheduling delay charged to a task that
+	// had to wait for cores (i.e. ran in a second or later wave). It
+	// models the MPI task scheduling issue of RADICAL-Pilot 0.35 that
+	// the paper blames for the Execution Mode II efficiency dip
+	// (Figure 11b).
+	WavePenalty float64
+	// FailureProb is the per-task probability of failure.
+	FailureProb float64
+	// ExecJitter is the relative standard deviation of task execution
+	// time (lognormal), modelling OS noise and per-replica variation.
+	ExecJitter float64
+	FS         FSConfig
+}
+
+// TotalCores returns Nodes*CoresPerNode.
+func (c Config) TotalCores() int { return c.Nodes * c.CoresPerNode }
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Nodes <= 0:
+		return fmt.Errorf("cluster %q: nodes must be positive, got %d", c.Name, c.Nodes)
+	case c.CoresPerNode <= 0:
+		return fmt.Errorf("cluster %q: cores/node must be positive, got %d", c.Name, c.CoresPerNode)
+	case c.SpeedFactor <= 0:
+		return fmt.Errorf("cluster %q: speed factor must be positive, got %g", c.Name, c.SpeedFactor)
+	case c.FS.MetaLatency < 0 || c.FS.Bandwidth <= 0:
+		return fmt.Errorf("cluster %q: invalid filesystem config %+v", c.Name, c.FS)
+	case c.FailureProb < 0 || c.FailureProb > 1:
+		return fmt.Errorf("cluster %q: failure probability %g out of [0,1]", c.Name, c.FailureProb)
+	}
+	return nil
+}
+
+// Stampede returns a model of the TACC Stampede machine (Sandy Bridge,
+// 16 cores/node) as used for the paper's M-REMD and multi-core-replica
+// experiments.
+func Stampede() Config {
+	return Config{
+		Name:          "stampede",
+		Nodes:         6400,
+		CoresPerNode:  16,
+		SpeedFactor:   1.0,
+		QueueWait:     30,
+		LaunchGap:     0.040,
+		LaunchLatency: 0.25,
+		WavePenalty:   0.35,
+		ExecJitter:    0.04,
+		FS:            FSConfig{MetaLatency: 0.0010, Bandwidth: 1.5e9},
+	}
+}
+
+// SuperMIC returns a model of the LSU SuperMIC machine (Ivy Bridge,
+// 20 cores/node) used for the paper's 1D-REMD and overhead experiments.
+func SuperMIC() Config {
+	return Config{
+		Name:          "supermic",
+		Nodes:         360,
+		CoresPerNode:  20,
+		SpeedFactor:   1.18,
+		QueueWait:     20,
+		LaunchGap:     0.038,
+		LaunchLatency: 0.22,
+		WavePenalty:   0.35,
+		ExecJitter:    0.04,
+		FS:            FSConfig{MetaLatency: 0.0009, Bandwidth: 1.2e9},
+	}
+}
+
+// Small returns a small commodity cluster, useful for Execution Mode II
+// demonstrations (more replicas than cores).
+func Small(nodes, coresPerNode int) Config {
+	return Config{
+		Name:          fmt.Sprintf("small-%dx%d", nodes, coresPerNode),
+		Nodes:         nodes,
+		CoresPerNode:  coresPerNode,
+		SpeedFactor:   0.9,
+		QueueWait:     5,
+		LaunchGap:     0.030,
+		LaunchLatency: 0.15,
+		WavePenalty:   0.35,
+		ExecJitter:    0.05,
+		FS:            FSConfig{MetaLatency: 0.0040, Bandwidth: 5e8},
+	}
+}
+
+// Cluster is a live machine instance in a simulation environment.
+type Cluster struct {
+	env   *sim.Env
+	cfg   Config
+	cores *sim.Resource
+	mds   *sim.Resource // metadata server, capacity 1
+	rng   *rand.Rand
+
+	filesStaged   int
+	bytesStaged   int64
+	tasksLaunched int
+	tasksFailed   int
+}
+
+// New instantiates a cluster on env with a deterministic RNG seed.
+func New(env *sim.Env, cfg Config, seed int64) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Cluster{
+		env:   env,
+		cfg:   cfg,
+		cores: sim.NewResource(env, cfg.TotalCores()),
+		mds:   sim.NewResource(env, 1),
+		rng:   rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// MustNew is New but panics on configuration error (for tests/examples).
+func MustNew(env *sim.Env, cfg Config, seed int64) *Cluster {
+	c, err := New(env, cfg, seed)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the machine configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Env returns the simulation environment.
+func (c *Cluster) Env() *sim.Env { return c.env }
+
+// TotalCores returns the machine-wide core count.
+func (c *Cluster) TotalCores() int { return c.cfg.TotalCores() }
+
+// CoresInUse returns the number of cores currently allocated.
+func (c *Cluster) CoresInUse() int { return c.cores.InUse() }
+
+// Allocation is a granted block of cores, to be released when done.
+type Allocation struct {
+	c        *Cluster
+	Cores    int
+	Granted  float64 // virtual time the allocation became active
+	released bool
+}
+
+// Allocate blocks through the batch queue and returns an active
+// allocation of n cores. It must be called from a simulation process.
+func (c *Cluster) Allocate(p *sim.Proc, n int) (*Allocation, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster %s: allocation size must be positive, got %d", c.cfg.Name, n)
+	}
+	if n > c.TotalCores() {
+		return nil, fmt.Errorf("cluster %s: allocation of %d cores exceeds machine size %d",
+			c.cfg.Name, n, c.TotalCores())
+	}
+	p.Sleep(c.cfg.QueueWait)
+	c.cores.Acquire(p, n)
+	return &Allocation{c: c, Cores: n, Granted: p.Now()}, nil
+}
+
+// Release returns the allocation's cores to the machine.
+func (a *Allocation) Release() {
+	if a.released {
+		return
+	}
+	a.released = true
+	a.c.cores.Release(a.Cores)
+}
+
+// ScaleDuration converts a reference-machine compute duration to this
+// machine, applying the speed factor and lognormal execution jitter.
+func (c *Cluster) ScaleDuration(d float64) float64 {
+	d /= c.cfg.SpeedFactor
+	if c.cfg.ExecJitter > 0 {
+		d *= lognormal(c.rng, c.cfg.ExecJitter)
+	}
+	return d
+}
+
+// lognormal returns a multiplicative jitter factor with mean 1 and the
+// given relative standard deviation.
+func lognormal(rng *rand.Rand, sigma float64) float64 {
+	// For a lognormal with parameters (mu, s), mean = exp(mu + s^2/2).
+	// Choosing mu = -s^2/2 gives mean 1.
+	s := sigma
+	x := rng.NormFloat64()*s - s*s/2
+	return math.Exp(x)
+}
+
+// StageFiles performs n metadata operations and one aggregate transfer of
+// the given byte volume through the shared filesystem, blocking the
+// calling process. It returns the elapsed virtual time.
+func (c *Cluster) StageFiles(p *sim.Proc, nfiles int, bytes int64) float64 {
+	if nfiles <= 0 && bytes <= 0 {
+		return 0
+	}
+	start := p.Now()
+	for i := 0; i < nfiles; i++ {
+		c.mds.Acquire(p, 1)
+		p.Sleep(c.cfg.FS.MetaLatency)
+		c.mds.Release(1)
+	}
+	if bytes > 0 {
+		p.Sleep(float64(bytes) / c.cfg.FS.Bandwidth)
+	}
+	c.filesStaged += nfiles
+	c.bytesStaged += bytes
+	return p.Now() - start
+}
+
+// TaskFails draws whether a task fails under the configured probability.
+func (c *Cluster) TaskFails() bool {
+	c.tasksLaunched++
+	if c.cfg.FailureProb > 0 && c.rng.Float64() < c.cfg.FailureProb {
+		c.tasksFailed++
+		return true
+	}
+	return false
+}
+
+// Stats reports cumulative staging and failure counters.
+func (c *Cluster) Stats() (filesStaged int, bytesStaged int64, launched, failed int) {
+	return c.filesStaged, c.bytesStaged, c.tasksLaunched, c.tasksFailed
+}
+
+// CoreBusyIntegral returns machine-wide core-seconds consumed so far.
+func (c *Cluster) CoreBusyIntegral() float64 { return c.cores.BusyIntegral() }

@@ -1,0 +1,222 @@
+// Package config implements RepEx's configuration-file interface: REMD
+// simulations and resources are fully specified by two small JSON
+// documents (the paper's usability requirement: "must be fully specified
+// by configuration files ... a minimal set of parameters").
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/exchange"
+	"repro/internal/md"
+)
+
+// Simulation is the JSON shape of a simulation input file.
+type Simulation struct {
+	Name   string `json:"name"`
+	Engine string `json:"engine"` // amber | amber-pmemd | namd
+	// Atoms is the molecular system size used by the cost models.
+	Atoms int `json:"atoms"`
+	// Dimensions in exchange order, e.g. TSU.
+	Dimensions []Dim `json:"dimensions"`
+	// Pattern: "sync" (default) or "async".
+	Pattern         string  `json:"pattern,omitempty"`
+	CoresPerReplica int     `json:"cores_per_replica"`
+	StepsPerCycle   int     `json:"steps_per_cycle"`
+	Cycles          int     `json:"cycles"`
+	FaultPolicy     string  `json:"fault_policy,omitempty"` // drop | relaunch
+	AsyncWindowSec  float64 `json:"async_window_sec,omitempty"`
+	AsyncMinReady   int     `json:"async_min_ready,omitempty"`
+	Seed            int64   `json:"seed,omitempty"`
+}
+
+// Dim is one exchange dimension. Either Values is given explicitly, or
+// Count plus Min/Max generate a ladder (geometric for T, uniform
+// otherwise). Umbrella dimensions take a torsion label and a force
+// constant in the paper's kcal/mol/deg² units.
+type Dim struct {
+	Type    string    `json:"type"` // T | U | S
+	Values  []float64 `json:"values,omitempty"`
+	Count   int       `json:"count,omitempty"`
+	Min     float64   `json:"min,omitempty"`
+	Max     float64   `json:"max,omitempty"`
+	Torsion string    `json:"torsion,omitempty"`
+	KDeg2   float64   `json:"k_deg2,omitempty"`
+}
+
+// Resource is the JSON shape of a resource file.
+type Resource struct {
+	// Machine: "stampede", "supermic" or "small".
+	Machine string `json:"machine"`
+	// Nodes/CoresPerNode override the machine size (required for
+	// "small").
+	Nodes        int `json:"nodes,omitempty"`
+	CoresPerNode int `json:"cores_per_node,omitempty"`
+	// PilotCores is the allocation RepEx requests; it need not match
+	// replicas x cores-per-replica (Execution Mode II otherwise).
+	PilotCores   int     `json:"pilot_cores"`
+	QueueWaitSec float64 `json:"queue_wait_sec,omitempty"`
+	FailureProb  float64 `json:"failure_prob,omitempty"`
+	Seed         int64   `json:"seed,omitempty"`
+}
+
+// ParseSimulation decodes and validates a simulation file.
+func ParseSimulation(data []byte) (*Simulation, error) {
+	var s Simulation
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("config: %v", err)
+	}
+	if s.Atoms <= 0 {
+		s.Atoms = 2881 // the paper's small benchmark system
+	}
+	if s.Engine == "" {
+		s.Engine = "amber"
+	}
+	switch s.Engine {
+	case "amber", "amber-pmemd", "namd":
+	default:
+		return nil, fmt.Errorf("config: unknown engine %q", s.Engine)
+	}
+	if _, err := s.ToSpec(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// ToSpec converts the file to a core.Spec.
+func (s *Simulation) ToSpec() (*core.Spec, error) {
+	spec := &core.Spec{
+		Name:            s.Name,
+		CoresPerReplica: s.CoresPerReplica,
+		StepsPerCycle:   s.StepsPerCycle,
+		Cycles:          s.Cycles,
+		AsyncWindow:     s.AsyncWindowSec,
+		AsyncMinReady:   s.AsyncMinReady,
+		Seed:            s.Seed,
+	}
+	switch s.Pattern {
+	case "", "sync":
+		spec.Pattern = core.PatternSynchronous
+	case "async":
+		spec.Pattern = core.PatternAsynchronous
+	default:
+		return nil, fmt.Errorf("config: unknown pattern %q (want sync or async)", s.Pattern)
+	}
+	switch s.FaultPolicy {
+	case "", "drop":
+		spec.FaultPolicy = core.FaultDrop
+	case "relaunch":
+		spec.FaultPolicy = core.FaultRelaunch
+	default:
+		return nil, fmt.Errorf("config: unknown fault policy %q", s.FaultPolicy)
+	}
+	for i, d := range s.Dimensions {
+		dim, err := d.toDimension()
+		if err != nil {
+			return nil, fmt.Errorf("config: dimension %d: %v", i, err)
+		}
+		spec.Dims = append(spec.Dims, dim)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+func (d Dim) toDimension() (core.Dimension, error) {
+	t, err := exchange.ParseType(d.Type)
+	if err != nil {
+		return core.Dimension{}, err
+	}
+	values := d.Values
+	if len(values) == 0 {
+		if d.Count <= 0 {
+			return core.Dimension{}, fmt.Errorf("need values or count")
+		}
+		switch t {
+		case exchange.Temperature:
+			if d.Min <= 0 || d.Max <= d.Min {
+				return core.Dimension{}, fmt.Errorf("temperature ladder needs 0 < min < max")
+			}
+			values = core.GeometricTemperatures(d.Min, d.Max, d.Count)
+		case exchange.Umbrella:
+			values = core.UniformWindows(d.Count)
+		case exchange.Salt, exchange.PH:
+			if d.Min <= 0 || d.Max <= d.Min {
+				return core.Dimension{}, fmt.Errorf("%s ladder needs 0 < min < max", t)
+			}
+			values = make([]float64, d.Count)
+			for i := range values {
+				if d.Count == 1 {
+					values[i] = d.Min
+					continue
+				}
+				frac := float64(i) / float64(d.Count-1)
+				values[i] = d.Min + frac*(d.Max-d.Min)
+			}
+		}
+	} else if t == exchange.Umbrella {
+		// Umbrella values are given in degrees in the file.
+		conv := make([]float64, len(values))
+		for i, v := range values {
+			conv[i] = md.WrapAngle(md.Rad(v))
+		}
+		values = conv
+	}
+	dim := core.Dimension{Type: t, Values: values}
+	if t == exchange.Umbrella {
+		dim.Torsion = d.Torsion
+		k := d.KDeg2
+		if k == 0 {
+			k = 0.02 // the paper's force constant
+		}
+		dim.K = k * (180 / 3.141592653589793) * (180 / 3.141592653589793)
+	}
+	return dim, nil
+}
+
+// ParseResource decodes and validates a resource file, returning the
+// machine config and pilot size.
+func ParseResource(data []byte) (cluster.Config, int, error) {
+	var r Resource
+	if err := json.Unmarshal(data, &r); err != nil {
+		return cluster.Config{}, 0, fmt.Errorf("config: %v", err)
+	}
+	var cfg cluster.Config
+	switch r.Machine {
+	case "stampede":
+		cfg = cluster.Stampede()
+	case "supermic":
+		cfg = cluster.SuperMIC()
+	case "small":
+		n, c := r.Nodes, r.CoresPerNode
+		if n <= 0 || c <= 0 {
+			return cluster.Config{}, 0, fmt.Errorf("config: machine \"small\" needs nodes and cores_per_node")
+		}
+		cfg = cluster.Small(n, c)
+	default:
+		return cluster.Config{}, 0, fmt.Errorf("config: unknown machine %q", r.Machine)
+	}
+	if r.Nodes > 0 {
+		cfg.Nodes = r.Nodes
+	}
+	if r.CoresPerNode > 0 {
+		cfg.CoresPerNode = r.CoresPerNode
+	}
+	if r.QueueWaitSec > 0 {
+		cfg.QueueWait = r.QueueWaitSec
+	}
+	if r.FailureProb > 0 {
+		cfg.FailureProb = r.FailureProb
+	}
+	if r.PilotCores <= 0 {
+		return cluster.Config{}, 0, fmt.Errorf("config: pilot_cores must be positive")
+	}
+	if err := cfg.Validate(); err != nil {
+		return cluster.Config{}, 0, err
+	}
+	return cfg, r.PilotCores, nil
+}

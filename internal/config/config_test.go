@@ -1,0 +1,157 @@
+package config
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exchange"
+)
+
+const tsuJSON = `{
+  "name": "tsu-demo",
+  "engine": "amber",
+  "atoms": 2881,
+  "dimensions": [
+    {"type": "T", "count": 4, "min": 273, "max": 373},
+    {"type": "S", "values": [0.1, 0.2, 0.4]},
+    {"type": "U", "count": 4, "torsion": "phi"}
+  ],
+  "cores_per_replica": 1,
+  "steps_per_cycle": 6000,
+  "cycles": 3,
+  "seed": 42
+}`
+
+func TestParseSimulationTSU(t *testing.T) {
+	s, err := ParseSimulation([]byte(tsuJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := s.ToSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.DimCode() != "TSU" {
+		t.Fatalf("dim code %q, want TSU", spec.DimCode())
+	}
+	if spec.Replicas() != 4*3*4 {
+		t.Fatalf("replicas %d, want 48", spec.Replicas())
+	}
+	// Generated temperature ladder is geometric 273..373.
+	ts := spec.Dims[0].Values
+	if ts[0] != 273 || math.Abs(ts[3]-373) > 1e-9 {
+		t.Fatalf("temperature ladder %v", ts)
+	}
+	// Default umbrella K is the paper's 0.02 kcal/mol/deg².
+	if math.Abs(spec.Dims[2].K-core.UmbrellaK002) > 1e-9 {
+		t.Fatalf("umbrella K %v, want %v", spec.Dims[2].K, core.UmbrellaK002)
+	}
+	if spec.Pattern != core.PatternSynchronous {
+		t.Fatal("default pattern should be synchronous")
+	}
+}
+
+func TestParseSimulationAsync(t *testing.T) {
+	s, err := ParseSimulation([]byte(`{
+	  "name": "a", "dimensions": [{"type":"T","count":4,"min":280,"max":340}],
+	  "pattern": "async", "async_window_sec": 60,
+	  "cores_per_replica": 1, "steps_per_cycle": 1000, "cycles": 2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := s.ToSpec()
+	if spec.Pattern != core.PatternAsynchronous || spec.AsyncWindow != 60 {
+		t.Fatalf("async config lost: %+v", spec)
+	}
+	if s.Atoms != 2881 {
+		t.Fatalf("default atoms %d, want 2881", s.Atoms)
+	}
+}
+
+func TestParseSimulationErrors(t *testing.T) {
+	cases := []string{
+		`{bad json`,
+		`{"name":"x","engine":"gromacs","dimensions":[{"type":"T","count":2,"min":1,"max":2}],"cores_per_replica":1,"steps_per_cycle":1,"cycles":1}`,
+		`{"name":"x","dimensions":[{"type":"Q","count":2}],"cores_per_replica":1,"steps_per_cycle":1,"cycles":1}`,
+		`{"name":"x","dimensions":[{"type":"T"}],"cores_per_replica":1,"steps_per_cycle":1,"cycles":1}`,
+		`{"name":"x","dimensions":[{"type":"T","count":2,"min":300,"max":200}],"cores_per_replica":1,"steps_per_cycle":1,"cycles":1}`,
+		`{"name":"x","dimensions":[{"type":"T","count":2,"min":200,"max":300}],"pattern":"turbo","cores_per_replica":1,"steps_per_cycle":1,"cycles":1}`,
+		`{"name":"x","dimensions":[{"type":"T","count":2,"min":200,"max":300}],"fault_policy":"explode","cores_per_replica":1,"steps_per_cycle":1,"cycles":1}`,
+	}
+	for i, c := range cases {
+		if s, err := ParseSimulation([]byte(c)); err == nil {
+			if _, err2 := s.ToSpec(); err2 == nil {
+				t.Errorf("case %d accepted", i)
+			}
+		}
+	}
+}
+
+func TestUmbrellaDegreesConverted(t *testing.T) {
+	s, err := ParseSimulation([]byte(`{
+	  "name":"u","dimensions":[{"type":"U","values":[0,90,180,270],"torsion":"psi"}],
+	  "cores_per_replica":1,"steps_per_cycle":1,"cycles":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := s.ToSpec()
+	vals := spec.Dims[0].Values
+	if math.Abs(vals[1]-math.Pi/2) > 1e-9 {
+		t.Fatalf("90 deg became %v rad", vals[1])
+	}
+	// 270° wraps to -90°.
+	if math.Abs(vals[3]+math.Pi/2) > 1e-9 {
+		t.Fatalf("270 deg became %v rad, want -pi/2", vals[3])
+	}
+	if spec.Dims[0].Type != exchange.Umbrella {
+		t.Fatal("type lost")
+	}
+}
+
+func TestSaltLadderGenerated(t *testing.T) {
+	s, err := ParseSimulation([]byte(`{
+	  "name":"s","dimensions":[{"type":"S","count":3,"min":0.1,"max":0.5}],
+	  "cores_per_replica":1,"steps_per_cycle":1,"cycles":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := s.ToSpec()
+	want := []float64{0.1, 0.3, 0.5}
+	for i, v := range spec.Dims[0].Values {
+		if math.Abs(v-want[i]) > 1e-9 {
+			t.Fatalf("salt ladder %v, want %v", spec.Dims[0].Values, want)
+		}
+	}
+}
+
+func TestParseResource(t *testing.T) {
+	cfg, cores, err := ParseResource([]byte(`{"machine":"supermic","pilot_cores":512}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Name != "supermic" || cores != 512 {
+		t.Fatalf("parsed %s/%d", cfg.Name, cores)
+	}
+	cfg2, _, err := ParseResource([]byte(`{"machine":"small","nodes":4,"cores_per_node":16,"pilot_cores":64,"failure_prob":0.05}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg2.TotalCores() != 64 || cfg2.FailureProb != 0.05 {
+		t.Fatalf("small cluster config %+v", cfg2)
+	}
+}
+
+func TestParseResourceErrors(t *testing.T) {
+	cases := []string{
+		`{bad`,
+		`{"machine":"lumi","pilot_cores":4}`,
+		`{"machine":"small","pilot_cores":4}`,
+		`{"machine":"supermic","pilot_cores":0}`,
+	}
+	for i, c := range cases {
+		if _, _, err := ParseResource([]byte(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package config_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/engines"
+)
+
+// End-to-end tests of the shipped example configuration files: parse
+// them, run the simulation they describe on the virtual cluster and
+// check the outcome, exactly as cmd/repex does.
+
+func readConfig(t *testing.T, name string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "configs", name))
+	if err != nil {
+		t.Fatalf("reading shipped config: %v", err)
+	}
+	return data
+}
+
+func runConfig(t *testing.T, simName, resName string) *core.Report {
+	t.Helper()
+	simFile, err := config.ParseSimulation(readConfig(t, simName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := simFile.ToSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine, cores, err := config.ParseResource(readConfig(t, resName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := bench.Run(bench.RunParams{
+		Spec:       spec,
+		Cluster:    machine,
+		PilotCores: cores,
+		NewEngine:  func(s int64) core.Engine { return engines.NewAmberVirtual(simFile.Atoms, s) },
+		Seed:       spec.Seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestShippedTSUConfig(t *testing.T) {
+	rep := runConfig(t, "tsu_supermic.json", "supermic_144.json")
+	if rep.DimCode != "TSU" || rep.Replicas != 6*3*8 {
+		t.Fatalf("report %s/%d, want TSU/144", rep.DimCode, rep.Replicas)
+	}
+	if rep.Mode != core.ModeI {
+		t.Fatalf("mode %v, want I (144 cores for 144 replicas)", rep.Mode)
+	}
+	d := rep.Decompose()
+	if d.TMD < 400 || d.TMD > 440 {
+		t.Fatalf("3-dim cycle MD %v, want ~3x139.6", d.TMD)
+	}
+}
+
+func TestShippedAsyncPHConfig(t *testing.T) {
+	rep := runConfig(t, "async_ph_small.json", "small_cluster_16.json")
+	if rep.DimCode != "H" {
+		t.Fatalf("dim code %q, want H", rep.DimCode)
+	}
+	if rep.Pattern != core.PatternAsynchronous {
+		t.Fatal("pattern lost in config round trip")
+	}
+	if rep.ExchangeEvents == 0 {
+		t.Fatal("no asynchronous exchange events")
+	}
+	acc := rep.AcceptanceRatioByDim(0)
+	if acc <= 0 || acc >= 1 {
+		t.Fatalf("pH acceptance %v out of (0,1)", acc)
+	}
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"repro/internal/exchange"
+	"repro/internal/task"
+)
+
+// runAsync is the asynchronous RE pattern (paper §3.2.1, Figure 1b):
+// there is no global barrier. Replicas run MD continuously; every
+// AsyncWindow seconds of (runtime) time, the replicas that have finished
+// their current MD segment transition into an exchange phase among
+// themselves while the others keep simulating. This implements the
+// paper's real-time-window transition criterion.
+func (s *Simulation) runAsync() error {
+	type pendingMD struct {
+		r *Replica
+		h task.Handle
+	}
+	var pending []pendingMD
+	var ready []*Replica
+	exDim := 0
+	// mdAccum collects MD task stats between exchange events so the
+	// report's records carry the MD phase too.
+	var mdAccum PhaseRecord
+
+	// submitBatch charges one task-preparation overhead for the whole
+	// batch (as the synchronous pattern does per phase) and submits the
+	// replicas' next MD segments.
+	submitBatch := func(rs []*Replica) {
+		if len(rs) == 0 {
+			return
+		}
+		s.rt.Overhead(s.engine.PrepOverhead(len(rs), len(s.spec.Dims)))
+		for _, r := range rs {
+			pending = append(pending, pendingMD{r: r, h: s.rt.Submit(s.engine.MDTask(r, s.spec, exDim))})
+		}
+	}
+
+	submitBatch(s.aliveReplicas())
+	event := 0
+	for len(pending) > 0 {
+		// Collect completions until the window closes. With
+		// AsyncMinReady == 0 the dispatcher acts only at window
+		// boundaries (the paper's fixed real-time-period criterion);
+		// with AsyncMinReady > 0 an exchange may trigger early once
+		// that many replicas are ready.
+		deadline := s.rt.Now() + s.spec.AsyncWindow
+		earlyTrigger := false
+		for s.rt.Now() < deadline && len(pending) > 0 {
+			hs := make([]task.Handle, len(pending))
+			for i, p := range pending {
+				hs[i] = p.h
+			}
+			doneIdx := s.rt.AwaitAnyUntil(hs, deadline)
+			if len(doneIdx) == 0 {
+				break // window expired with nothing new
+			}
+			// Absorb finished MD tasks; keep the rest pending.
+			doneSet := map[int]bool{}
+			for _, i := range doneIdx {
+				doneSet[i] = true
+			}
+			var still []pendingMD
+			for i, p := range pending {
+				if !doneSet[i] {
+					still = append(still, p)
+					continue
+				}
+				res := p.h.Result()
+				s.finishMD(p.r, res, exDim, &mdAccum)
+				if p.r.Alive {
+					ready = append(ready, p.r)
+				}
+			}
+			pending = still
+			if s.spec.AsyncMinReady > 0 && len(ready) >= s.spec.AsyncMinReady && len(ready) >= 2 {
+				earlyTrigger = true
+				break
+			}
+		}
+		// Pure window criterion: ready replicas idle until the window
+		// boundary even when every running MD segment has finished —
+		// the utilization cost of the asynchronous pattern (§4.6).
+		if !earlyTrigger && s.rt.Now() < deadline && moreWorkRemains(ready, s.spec.Cycles) {
+			s.rt.SleepUntil(deadline)
+		}
+
+		// Exchange among the ready subset (FIFO over the window).
+		if len(ready) >= 2 {
+			rec := CycleRecord{Cycle: event, Dim: exDim, MD: mdAccum}
+			mdAccum = PhaseRecord{}
+			exStart := s.rt.Now()
+			s.exchangeSubset(ready, exDim, event, &rec)
+			rec.EX.Wall = s.rt.Now() - exStart
+			rec.Wall = rec.EX.Wall
+			s.report.Records = append(s.report.Records, rec)
+			s.report.ExchangeEvents++
+			exDim = (exDim + 1) % len(s.spec.Dims)
+			event++
+		}
+
+		// Ready replicas go back to MD (or finish their budget).
+		var resubmit []*Replica
+		for _, r := range ready {
+			if r.Alive && r.Cycle < s.spec.Cycles {
+				resubmit = append(resubmit, r)
+			}
+		}
+		submitBatch(resubmit)
+		ready = ready[:0]
+	}
+	return nil
+}
+
+// moreWorkRemains reports whether any ready replica still has MD cycles
+// left (i.e. waiting for the window boundary is not pointless).
+func moreWorkRemains(ready []*Replica, cycles int) bool {
+	for _, r := range ready {
+		if r.Alive && r.Cycle < cycles {
+			return true
+		}
+	}
+	return false
+}
+
+// exchangeSubset runs an exchange phase restricted to the given replicas
+// along dimension d: only group members that are in the subset
+// participate, mirroring the asynchronous pattern where lagging replicas
+// simply keep simulating.
+func (s *Simulation) exchangeSubset(subset []*Replica, d, sweep int, rec *CycleRecord) {
+	inSubset := map[int]bool{}
+	for _, r := range subset {
+		inSubset[r.ID] = true
+	}
+	// Groups along d, filtered to the ready subset.
+	var groups [][]*Replica
+	for _, g := range s.liveGroups(d) {
+		var sub []*Replica
+		for _, r := range g {
+			if inSubset[r.ID] {
+				sub = append(sub, r)
+			}
+		}
+		if len(sub) >= 2 {
+			groups = append(groups, sub)
+		}
+	}
+	if len(groups) == 0 {
+		return
+	}
+
+	prep := s.engine.PrepOverhead(len(groups), len(s.spec.Dims))
+	s.rt.Overhead(prep)
+	rec.RepExOverhead += prep
+
+	var speHandles []task.Handle
+	for _, g := range groups {
+		for _, spec := range s.engine.SinglePointTasks(d, g, s.spec) {
+			speHandles = append(speHandles, s.rt.Submit(spec))
+		}
+	}
+	if len(speHandles) > 0 {
+		for _, res := range s.rt.AwaitAll(speHandles) {
+			rec.EX.absorb(res)
+		}
+	}
+	nReady := 0
+	for _, g := range groups {
+		nReady += len(g)
+	}
+	if exSpec := s.engine.ExchangeTask(d, nReady, s.spec); exSpec != nil {
+		res := s.rt.Await(s.rt.Submit(exSpec))
+		rec.EX.absorb(res)
+	}
+
+	for _, g := range groups {
+		ids := make([]int, len(g))
+		for i, r := range g {
+			ids[i] = r.ID
+		}
+		pairs := exchange.NeighborPairs(ids, sweep)
+		probs := make([]float64, len(pairs))
+		for i, pr := range pairs {
+			probs[i] = s.pairProbability(d, s.replicas[pr.I], s.replicas[pr.J])
+		}
+		for _, dec := range exchange.Sweep(pairs, probs, s.rng) {
+			rec.Attempted++
+			if dec.Accepted {
+				rec.Accepted++
+				s.applySwap(s.replicas[dec.I], s.replicas[dec.J])
+			}
+		}
+	}
+}

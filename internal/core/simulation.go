@@ -1,0 +1,365 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/exchange"
+	"repro/internal/md"
+	"repro/internal/task"
+)
+
+// Simulation is a configured REMD run: the EMM of the paper's module
+// structure. It owns the replica set, the slot-to-replica mapping and
+// all runtime interaction; it is engine independent.
+type Simulation struct {
+	spec   *Spec
+	engine Engine
+	rt     task.Runtime
+
+	grid       exchange.Grid
+	replicas   []*Replica
+	replicaAt  []int // slot -> replica ID
+	slotParams []md.Params
+	rng        *rand.Rand
+
+	report *Report
+}
+
+// New validates the spec and builds the replica set with initial
+// parameters; replica i starts in slot i.
+func New(spec *Spec, engine Engine, rt task.Runtime) (*Simulation, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.MaxRetries == 0 {
+		spec.MaxRetries = 3
+	}
+	grid := spec.Grid()
+	n := grid.Size()
+	s := &Simulation{
+		spec:       spec,
+		engine:     engine,
+		rt:         rt,
+		grid:       grid,
+		replicas:   make([]*Replica, n),
+		replicaAt:  make([]int, n),
+		slotParams: make([]md.Params, n),
+		rng:        rand.New(rand.NewSource(spec.Seed)),
+	}
+	for slot := 0; slot < n; slot++ {
+		s.slotParams[slot] = s.paramsForSlot(slot)
+	}
+	for i := 0; i < n; i++ {
+		r := &Replica{
+			ID:     i,
+			Slot:   i,
+			Params: s.slotParams[i].Clone(),
+			Alive:  true,
+		}
+		engine.InitReplica(r, spec)
+		s.replicas[i] = r
+		s.replicaAt[i] = i
+	}
+	mode := ModeI
+	if rt.Cores() < n*spec.CoresPerReplica {
+		mode = ModeII
+	}
+	s.report = &Report{
+		Name:     spec.Name,
+		DimCode:  spec.DimCode(),
+		Pattern:  spec.Pattern,
+		Mode:     mode,
+		Engine:   engine.Name(),
+		Replicas: n,
+		Cores:    rt.Cores(),
+		Cycles:   spec.Cycles,
+	}
+	return s, nil
+}
+
+// paramsForSlot derives the thermodynamic parameters of a grid slot.
+func (s *Simulation) paramsForSlot(slot int) md.Params {
+	coord := s.grid.Coord(slot)
+	p := md.Params{TemperatureK: s.spec.BaseTemperature, SaltM: s.spec.BaseSalt}
+	if p.TemperatureK <= 0 {
+		p.TemperatureK = 300
+	}
+	for d, dim := range s.spec.Dims {
+		v := dim.Values[coord[d]]
+		switch dim.Type {
+		case exchange.Temperature:
+			p.TemperatureK = v
+		case exchange.Salt:
+			p.SaltM = v
+		case exchange.PH:
+			p.PH = v
+		case exchange.Umbrella:
+			p.Restraints = append(p.Restraints, md.TorsionRestraint{
+				Dihedral: s.engine.TorsionIndex(dim.Torsion),
+				Center:   v,
+				K:        dim.K,
+			})
+		}
+	}
+	return p
+}
+
+// Replicas exposes the replica set (read-mostly; used by analysis).
+func (s *Simulation) Replicas() []*Replica { return s.replicas }
+
+// Report returns the accumulating run report.
+func (s *Simulation) Report() *Report { return s.report }
+
+// Grid returns the replica grid.
+func (s *Simulation) Grid() exchange.Grid { return s.grid }
+
+// SlotParams returns the fixed parameters of a slot.
+func (s *Simulation) SlotParams(slot int) md.Params { return s.slotParams[slot] }
+
+// Run executes the simulation under the spec's RE pattern and returns
+// the report.
+func (s *Simulation) Run() (*Report, error) {
+	s.report.Start = s.rt.Now()
+	var err error
+	switch s.spec.Pattern {
+	case PatternSynchronous:
+		err = s.runSync()
+	case PatternAsynchronous:
+		err = s.runAsync()
+	default:
+		err = fmt.Errorf("core: unknown pattern %d", s.spec.Pattern)
+	}
+	s.report.End = s.rt.Now()
+	return s.report, err
+}
+
+// runSync is the synchronous RE pattern: a global barrier after the MD
+// phase and after the exchange phase of every sub-cycle.
+func (s *Simulation) runSync() error {
+	for cycle := 0; cycle < s.spec.Cycles; cycle++ {
+		for d := range s.spec.Dims {
+			rec, err := s.runSubCycle(cycle, d)
+			if err != nil {
+				return err
+			}
+			s.report.Records = append(s.report.Records, rec)
+			s.snapshotSlots()
+			if s.aliveCount() < 2 {
+				return fmt.Errorf("core: fewer than two replicas alive after cycle %d", cycle)
+			}
+		}
+	}
+	return nil
+}
+
+// runSubCycle executes one MD phase over all alive replicas followed by
+// one exchange phase along dimension d.
+func (s *Simulation) runSubCycle(cycle, d int) (CycleRecord, error) {
+	rec := CycleRecord{Cycle: cycle, Dim: d}
+	t0 := s.rt.Now()
+	alive := s.aliveReplicas()
+
+	// --- MD phase ---
+	s.rt.Overhead(s.engine.PrepOverhead(len(alive), len(s.spec.Dims)))
+	rec.RepExOverhead += s.engine.PrepOverhead(len(alive), len(s.spec.Dims))
+	mdStart := s.rt.Now()
+	handles := make([]task.Handle, len(alive))
+	for i, r := range alive {
+		handles[i] = s.rt.Submit(s.engine.MDTask(r, s.spec, d))
+	}
+	results := s.rt.AwaitAll(handles)
+	for i, res := range results {
+		s.finishMD(alive[i], res, d, &rec.MD)
+	}
+	rec.MD.Wall = s.rt.Now() - mdStart
+
+	// --- Exchange phase ---
+	if !s.spec.DisableExchange {
+		exStart := s.rt.Now()
+		s.runExchangePhase(cycle, d, &rec)
+		rec.EX.Wall = s.rt.Now() - exStart
+	}
+	rec.Wall = s.rt.Now() - t0
+	return rec, nil
+}
+
+// finishMD processes one MD task result: failure policy, cycle count and
+// energy refresh.
+func (s *Simulation) finishMD(r *Replica, res task.Result, dim int, phase *PhaseRecord) {
+	phase.absorb(res)
+	s.report.MDExecCoreSeconds += res.Exec * float64(res.Spec.Cores)
+	if res.Failed() {
+		switch s.spec.FaultPolicy {
+		case FaultRelaunch:
+			for res.Failed() && r.Retries < s.spec.MaxRetries {
+				r.Retries++
+				s.report.Relaunches++
+				res = s.rt.Await(s.rt.Submit(s.engine.MDTask(r, s.spec, dim)))
+				phase.absorb(res)
+				s.report.MDExecCoreSeconds += res.Exec * float64(res.Spec.Cores)
+			}
+			if res.Failed() {
+				r.Alive = false
+				s.report.Dropped++
+				return
+			}
+		default: // FaultDrop
+			r.Alive = false
+			s.report.Dropped++
+			return
+		}
+	}
+	r.Cycle++
+	r.Energy = s.engine.OwnEnergy(r)
+}
+
+// runExchangePhase performs the exchange along dimension d: single-point
+// energy tasks where required (salt), the exchange-computation task, the
+// Metropolis sweep and the parameter swaps.
+func (s *Simulation) runExchangePhase(cycle, d int, rec *CycleRecord) {
+	groups := s.liveGroups(d)
+	total := s.aliveCount()
+
+	// Client-side preparation of exchange tasks.
+	prep := s.engine.PrepOverhead(len(groups), len(s.spec.Dims))
+	s.rt.Overhead(prep)
+	rec.RepExOverhead += prep
+
+	// Single-point energy tasks (salt exchange): one per replica, wide
+	// as its group, doubling the task count — the paper's stated cause
+	// of S-REMD's exchange cost.
+	var speHandles []task.Handle
+	for _, g := range groups {
+		for _, spec := range s.engine.SinglePointTasks(d, g, s.spec) {
+			speHandles = append(speHandles, s.rt.Submit(spec))
+		}
+	}
+	if len(speHandles) > 0 {
+		for _, res := range s.rt.AwaitAll(speHandles) {
+			rec.EX.absorb(res)
+		}
+	}
+
+	// The exchange-computation task itself (partner determination).
+	exSpec := s.engine.ExchangeTask(d, total, s.spec)
+	if exSpec != nil {
+		res := s.rt.Await(s.rt.Submit(exSpec))
+		rec.EX.absorb(res)
+	}
+
+	// Metropolis decisions and swaps (client side, negligible cost).
+	for _, g := range groups {
+		ids := make([]int, len(g))
+		for i, r := range g {
+			ids[i] = r.ID
+		}
+		pairs := exchange.NeighborPairs(ids, cycle)
+		probs := make([]float64, len(pairs))
+		for i, pr := range pairs {
+			probs[i] = s.pairProbability(d, s.replicas[pr.I], s.replicas[pr.J])
+		}
+		for _, dec := range exchange.Sweep(pairs, probs, s.rng) {
+			rec.Attempted++
+			if dec.Accepted {
+				rec.Accepted++
+				s.applySwap(s.replicas[dec.I], s.replicas[dec.J])
+			}
+		}
+	}
+}
+
+// pairProbability computes the Metropolis acceptance probability for
+// swapping the slots of replicas a and b along dimension d.
+func (s *Simulation) pairProbability(d int, a, b *Replica) float64 {
+	dim := s.spec.Dims[d]
+	betaA := a.Params.Beta()
+	betaB := b.Params.Beta()
+	if dim.Type == exchange.Temperature {
+		return exchange.AcceptTemperature(betaA, betaB, a.Energy, b.Energy)
+	}
+	// Hamiltonian exchange: cross energies of each configuration under
+	// the other's parameters.
+	eAA := a.Energy
+	eBB := b.Energy
+	eAB := s.engine.CrossEnergy(b, a.Params) // A's params on B's coords
+	eBA := s.engine.CrossEnergy(a, b.Params) // B's params on A's coords
+	return exchange.AcceptHamiltonian(betaA, betaB, eAA, eAB, eBA, eBB)
+}
+
+// applySwap exchanges the grid slots (and hence parameters) of two
+// replicas. For real engines with a temperature change, velocities are
+// rescaled by sqrt(Tnew/Told), the standard T-REMD velocity rescaling.
+func (s *Simulation) applySwap(a, b *Replica) {
+	oldTa, oldTb := a.Params.TemperatureK, b.Params.TemperatureK
+	a.Slot, b.Slot = b.Slot, a.Slot
+	s.replicaAt[a.Slot] = a.ID
+	s.replicaAt[b.Slot] = b.ID
+	a.Params = s.slotParams[a.Slot].Clone()
+	b.Params = s.slotParams[b.Slot].Clone()
+	if a.State != nil && a.Params.TemperatureK != oldTa {
+		scale := math.Sqrt(a.Params.TemperatureK / oldTa)
+		for i := range a.State.Vel {
+			a.State.Vel[i] = a.State.Vel[i].Scale(scale)
+		}
+	}
+	if b.State != nil && b.Params.TemperatureK != oldTb {
+		scale := math.Sqrt(b.Params.TemperatureK / oldTb)
+		for i := range b.State.Vel {
+			b.State.Vel[i] = b.State.Vel[i].Scale(scale)
+		}
+	}
+}
+
+// snapshotSlots appends the replicas' current slot assignment to the
+// report's slot history.
+func (s *Simulation) snapshotSlots() {
+	row := make([]int, len(s.replicas))
+	for i, r := range s.replicas {
+		row[i] = r.Slot
+	}
+	s.report.SlotHistory = append(s.report.SlotHistory, row)
+}
+
+// aliveReplicas returns the live replicas in ID order.
+func (s *Simulation) aliveReplicas() []*Replica {
+	var out []*Replica
+	for _, r := range s.replicas {
+		if r.Alive {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func (s *Simulation) aliveCount() int {
+	n := 0
+	for _, r := range s.replicas {
+		if r.Alive {
+			n++
+		}
+	}
+	return n
+}
+
+// liveGroups returns, for dimension d, the exchange groups as slices of
+// live replicas ordered by their coordinate along d. Dead replicas are
+// skipped, which is what lets the simulation continue across failures.
+func (s *Simulation) liveGroups(d int) [][]*Replica {
+	slotGroups := s.grid.GroupsAlong(d)
+	out := make([][]*Replica, 0, len(slotGroups))
+	for _, slots := range slotGroups {
+		var g []*Replica
+		for _, slot := range slots {
+			r := s.replicas[s.replicaAt[slot]]
+			if r.Alive {
+				g = append(g, r)
+			}
+		}
+		if len(g) >= 1 {
+			out = append(out, g)
+		}
+	}
+	return out
+}

@@ -1,0 +1,529 @@
+package engines
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/exchange"
+	"repro/internal/md"
+	"repro/internal/task"
+)
+
+// --- cost models ---
+
+func TestSanderCalibration(t *testing.T) {
+	m := SanderModel()
+	// Reference machine: 6000 steps, 2881 atoms -> ~164.7 s so that
+	// SuperMIC (1.18x) lands on the paper's 139.6 s.
+	got := m.MDSeconds(2881, 6000, 1)
+	if math.Abs(got/1.18-139.6) > 2 {
+		t.Fatalf("sander 6000x2881 on SuperMIC = %v s, want ~139.6", got/1.18)
+	}
+	// sander is serial: more cores don't help.
+	if m.MDSeconds(2881, 6000, 16) != got {
+		t.Fatal("sander must not speed up with cores")
+	}
+}
+
+func TestPmemdScalingShape(t *testing.T) {
+	m := PmemdModel()
+	t1 := m.MDSeconds(64366, 20000, 1)
+	t16 := m.MDSeconds(64366, 20000, 16)
+	t64 := m.MDSeconds(64366, 20000, 64)
+	if t16 >= t1/4 {
+		t.Fatalf("pmemd 16-core time %v not a large drop from serial %v", t16, t1)
+	}
+	// Diminishing returns beyond 16 cores (Figure 12's flattening).
+	speedup16 := t1 / t16
+	speedup64 := t1 / t64
+	if speedup64 > 2.5*speedup16 {
+		t.Fatalf("pmemd 64-core speedup %v vs 16-core %v: scaling too ideal", speedup64, speedup16)
+	}
+	if t64 >= t16 {
+		t.Fatalf("64 cores (%v) not faster than 16 (%v)", t64, t16)
+	}
+	// pmemd serial is faster than sander serial.
+	if t1 >= SanderModel().MDSeconds(64366, 20000, 1) {
+		t.Fatal("pmemd serial not faster than sander")
+	}
+}
+
+func TestNAMDExchangeNonMonomial(t *testing.T) {
+	m := NAMDModel()
+	// log-log slope between consecutive points must vary (the paper:
+	// growth "can't be characterized as monomial").
+	ns := []int{64, 216, 512, 1000, 1728}
+	var slopes []float64
+	for i := 1; i < len(ns); i++ {
+		a := m.ExchangeSeconds(exchange.Temperature, ns[i-1])
+		b := m.ExchangeSeconds(exchange.Temperature, ns[i])
+		slopes = append(slopes, math.Log(b/a)/math.Log(float64(ns[i])/float64(ns[i-1])))
+	}
+	minS, maxS := slopes[0], slopes[0]
+	for _, s := range slopes {
+		minS = math.Min(minS, s)
+		maxS = math.Max(maxS, s)
+	}
+	if maxS-minS < 0.02 {
+		t.Fatalf("NAMD exchange slopes %v look monomial", slopes)
+	}
+}
+
+func TestAmberExchangeNearLinear(t *testing.T) {
+	m := SanderModel()
+	t64 := m.ExchangeSeconds(exchange.Temperature, 64)
+	t1728 := m.ExchangeSeconds(exchange.Temperature, 1728)
+	// Near-linear growth: 27x replicas -> ~17-27x time given the
+	// constant offset.
+	if ratio := t1728 / t64; ratio < 10 || ratio > 27 {
+		t.Fatalf("T exchange growth ratio %v not near-linear", ratio)
+	}
+	// U similar to T (within ~10%).
+	u := m.ExchangeSeconds(exchange.Umbrella, 1728)
+	if math.Abs(u-t1728)/t1728 > 0.1 {
+		t.Fatalf("U exchange %v differs from T %v by >10%%", u, t1728)
+	}
+}
+
+func TestStagingFilesOrderTUS(t *testing.T) {
+	m := SanderModel()
+	ft := m.MDOutFiles(exchange.Temperature)
+	fu := m.MDOutFiles(exchange.Umbrella)
+	fs := m.MDOutFiles(exchange.Salt)
+	if !(ft < fu && fu < fs) {
+		t.Fatalf("file counts T=%d U=%d S=%d, want T<U<S (Figure 5 ordering)", ft, fu, fs)
+	}
+}
+
+// --- Amber format round trips ---
+
+func TestMDINRoundTrip(t *testing.T) {
+	in := MDIN{
+		NSTLim:  6000,
+		Dt:      0.002,
+		Temp0:   309.5,
+		GammaLn: 5,
+		SaltCon: 0.25,
+		Restraints: []md.TorsionRestraint{
+			{Dihedral: 1, Center: md.Rad(60), K: 65.65},
+			{Dihedral: 2, Center: md.Rad(-135), K: 65.65},
+		},
+	}
+	text := WriteMDIN(in)
+	got, err := ParseMDIN(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NSTLim != in.NSTLim || got.Temp0 != in.Temp0 || got.SaltCon != in.SaltCon {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, in)
+	}
+	if len(got.Restraints) != 2 {
+		t.Fatalf("restraints lost: %d", len(got.Restraints))
+	}
+	for i := range got.Restraints {
+		if math.Abs(got.Restraints[i].Center-in.Restraints[i].Center) > 1e-4 {
+			t.Fatalf("restraint %d center %v vs %v", i, got.Restraints[i].Center, in.Restraints[i].Center)
+		}
+		if got.Restraints[i].Dihedral != in.Restraints[i].Dihedral {
+			t.Fatal("restraint dihedral index lost")
+		}
+	}
+}
+
+func TestParseMDINErrors(t *testing.T) {
+	if _, err := ParseMDIN("&cntrl\n&end\n"); err == nil {
+		t.Error("mdin without nstlim accepted")
+	}
+	if _, err := ParseMDIN(" nstlim = banana,\n"); err == nil {
+		t.Error("bad nstlim value accepted")
+	}
+}
+
+func TestMDInfoRoundTrip(t *testing.T) {
+	text := WriteMDInfo(MDInfo{EPtot: -2501.3324, Temp: 305.12, NSteps: 6000})
+	got, err := ParseMDInfo(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.EPtot+2501.3324) > 1e-3 || got.NSteps != 6000 {
+		t.Fatalf("mdinfo round trip: %+v", got)
+	}
+	if math.Abs(got.Temp-305.12) > 1e-2 {
+		t.Fatalf("temp round trip: %v", got.Temp)
+	}
+}
+
+func TestParseMDInfoMissingEnergy(t *testing.T) {
+	if _, err := ParseMDInfo("nothing here"); err == nil {
+		t.Error("mdinfo without EPtot accepted")
+	}
+}
+
+func TestGroupFileRoundTrip(t *testing.T) {
+	ids := []int{0, 3, 7, 12}
+	text := WriteGroupFile(ids, "ala")
+	got, err := ParseGroupFile(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ids) {
+		t.Fatalf("group file round trip %v vs %v", got, ids)
+	}
+}
+
+func TestParseGroupFileMalformed(t *testing.T) {
+	if _, err := ParseGroupFile("-X something"); err == nil {
+		t.Error("malformed group file accepted")
+	}
+}
+
+// Property: any MDIN with sane values round-trips.
+func TestPropertyMDINRoundTrip(t *testing.T) {
+	f := func(steps uint16, tRaw uint16, saltRaw uint8) bool {
+		in := MDIN{
+			NSTLim:  int(steps%20000) + 1,
+			Dt:      0.002,
+			Temp0:   float64(tRaw%500) + 1,
+			GammaLn: 5,
+			SaltCon: float64(saltRaw) / 100,
+		}
+		got, err := ParseMDIN(WriteMDIN(in))
+		return err == nil && got.NSTLim == in.NSTLim &&
+			got.Temp0 == in.Temp0 && got.SaltCon == in.SaltCon
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- NAMD format round trips ---
+
+func TestNAMDConfigRoundTrip(t *testing.T) {
+	c := NAMDConfig{
+		Steps:       4000,
+		TimestepFS:  1,
+		Temperature: 341.5,
+		LangevinOn:  true,
+		Damping:     5,
+		Restraints:  []md.TorsionRestraint{{Dihedral: 4, Center: md.Rad(45), K: 10}},
+	}
+	got, err := ParseNAMDConfig(WriteNAMDConfig(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Steps != 4000 || got.Temperature != 341.5 || !got.LangevinOn {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if len(got.Restraints) != 1 || got.Restraints[0].Dihedral != 4 {
+		t.Fatalf("restraints: %+v", got.Restraints)
+	}
+	if math.Abs(got.Restraints[0].Center-md.Rad(45)) > 1e-4 {
+		t.Fatal("restraint center lost")
+	}
+}
+
+func TestParseNAMDConfigErrors(t *testing.T) {
+	if _, err := ParseNAMDConfig("timestep 1\n"); err == nil {
+		t.Error("config without run accepted")
+	}
+	if _, err := ParseNAMDConfig("run banana\n"); err == nil {
+		t.Error("bad run value accepted")
+	}
+}
+
+func TestNAMDEnergyRoundTrip(t *testing.T) {
+	log := "Info: startup\n" + NAMDEnergyLine(2000, -1234.5, 299.8) + "\n" +
+		NAMDEnergyLine(4000, -1250.25, 301.2) + "\n"
+	step, pot, temp, err := ParseNAMDEnergy(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step != 4000 || math.Abs(pot+1250.25) > 1e-3 || math.Abs(temp-301.2) > 1e-3 {
+		t.Fatalf("parsed %d %v %v", step, pot, temp)
+	}
+	if _, _, _, err := ParseNAMDEnergy("no energy"); err == nil {
+		t.Error("log without ENERGY accepted")
+	}
+}
+
+// --- virtual engine ---
+
+func virtSpec() *core.Spec {
+	return &core.Spec{
+		Name: "v",
+		Dims: []core.Dimension{
+			{Type: exchange.Temperature, Values: core.GeometricTemperatures(280, 360, 4)},
+			{Type: exchange.Umbrella, Values: core.UniformWindows(4), Torsion: "phi", K: core.UmbrellaK002},
+			{Type: exchange.Salt, Values: []float64{0.1, 0.4, 1.6, 6.4}},
+		},
+		Pattern:         core.PatternSynchronous,
+		CoresPerReplica: 1,
+		StepsPerCycle:   6000,
+		Cycles:          1,
+		Seed:            2,
+	}
+}
+
+func newVirtReplica(v *Virtual, s *core.Spec, slot int) *core.Replica {
+	r := &core.Replica{ID: slot, Slot: slot, Alive: true}
+	grid := s.Grid()
+	coord := grid.Coord(slot)
+	r.Params = md.Params{TemperatureK: s.Dims[0].Values[coord[0]], SaltM: s.Dims[2].Values[coord[2]]}
+	r.Params.Restraints = []md.TorsionRestraint{{
+		Dihedral: v.TorsionIndex("phi"), Center: s.Dims[1].Values[coord[1]], K: s.Dims[1].K,
+	}}
+	v.InitReplica(r, s)
+	return r
+}
+
+func TestVirtualEnergyConsistency(t *testing.T) {
+	s := virtSpec()
+	v := NewAmberVirtual(2881, 1)
+	r := newVirtReplica(v, s, 5)
+	// CrossEnergy under own params equals the stored own energy.
+	own := r.Energy
+	cross := v.CrossEnergy(r, r.Params)
+	if math.Abs(own-cross) > 1e-9 {
+		t.Fatalf("CrossEnergy under own params %v != OwnEnergy %v", cross, own)
+	}
+}
+
+func TestVirtualTemperatureDependence(t *testing.T) {
+	s := virtSpec()
+	v := NewAmberVirtual(2881, 1)
+	// Average energies at the coldest and hottest windows: hotter must
+	// be higher on average (positive effective heat capacity).
+	meanAt := func(slot int) float64 {
+		r := newVirtReplica(v, s, slot)
+		sum := 0.0
+		for i := 0; i < 400; i++ {
+			sum += v.OwnEnergy(r)
+		}
+		return sum / 400
+	}
+	cold := meanAt(0)        // coord (0,0,0): 280 K
+	hot := meanAt(3 * 4 * 4) // coord (3,0,0): 360 K
+	if hot <= cold {
+		t.Fatalf("mean energy at 360K (%v) not above 280K (%v)", hot, cold)
+	}
+}
+
+func TestVirtualUmbrellaCrossPenalty(t *testing.T) {
+	s := virtSpec()
+	v := NewAmberVirtual(2881, 1)
+	r := newVirtReplica(v, s, 0) // umbrella window 0
+	// Evaluate under a parameter set whose restraint centre is the
+	// opposite window: energy must rise on average.
+	far := r.Params.Clone()
+	far.Restraints[0].Center = math.Pi
+	dSum := 0.0
+	for i := 0; i < 200; i++ {
+		v.OwnEnergy(r)
+		dSum += v.CrossEnergy(r, far) - v.CrossEnergy(r, r.Params)
+	}
+	if dSum/200 <= 0 {
+		t.Fatalf("mean cross-window penalty %v, want positive", dSum/200)
+	}
+}
+
+func TestVirtualSaltCoupling(t *testing.T) {
+	s := virtSpec()
+	v := NewAmberVirtual(2881, 1)
+	r := newVirtReplica(v, s, 0)
+	low := r.Params.Clone()
+	low.SaltM = 0.1
+	high := r.Params.Clone()
+	high.SaltM = 6.4
+	// With a negative pseudo ion-pairing coordinate mean, higher salt
+	// lowers the energy (screening stabilizes).
+	dSum := 0.0
+	for i := 0; i < 200; i++ {
+		v.OwnEnergy(r)
+		dSum += v.CrossEnergy(r, high) - v.CrossEnergy(r, low)
+	}
+	if dSum/200 >= 0 {
+		t.Fatalf("salt coupling mean %v, want negative", dSum/200)
+	}
+}
+
+func TestVirtualMDTaskShape(t *testing.T) {
+	s := virtSpec()
+	v := NewAmberVirtual(2881, 1)
+	r := newVirtReplica(v, s, 0)
+	for dim, wantFiles := range map[int]int{0: 3, 1: 4, 2: 5} { // T,U,S
+		spec := v.MDTask(r, s, dim)
+		if spec.Kind != task.MD || spec.Cores != 1 || spec.Duration <= 0 {
+			t.Fatalf("dim %d: bad MD task %+v", dim, spec)
+		}
+		if spec.OutFiles != wantFiles {
+			t.Fatalf("dim %d: out files %d, want %d", dim, spec.OutFiles, wantFiles)
+		}
+		if !spec.CanFail {
+			t.Fatal("MD tasks must be subject to fault injection")
+		}
+	}
+}
+
+func TestVirtualSinglePointOnlyForSalt(t *testing.T) {
+	s := virtSpec()
+	v := NewAmberVirtual(2881, 1)
+	group := []*core.Replica{newVirtReplica(v, s, 0), newVirtReplica(v, s, 1)}
+	if got := v.SinglePointTasks(0, group, s); got != nil {
+		t.Fatal("T dimension produced SPE tasks")
+	}
+	if got := v.SinglePointTasks(1, group, s); got != nil {
+		t.Fatal("U dimension produced SPE tasks")
+	}
+	spe := v.SinglePointTasks(2, group, s)
+	if len(spe) != 2 {
+		t.Fatalf("S dimension SPE tasks %d, want one per replica", len(spe))
+	}
+	for _, sp := range spe {
+		if sp.Cores != 2 { // min(SPEWidth, group size)
+			t.Fatalf("SPE width %d, want 2", sp.Cores)
+		}
+	}
+}
+
+func TestVirtualPrepOverheadGrowsWithDims(t *testing.T) {
+	v := NewAmberVirtual(2881, 1)
+	o1 := v.PrepOverhead(1000, 1)
+	o3 := v.PrepOverhead(1000, 3)
+	if o3 <= o1 {
+		t.Fatalf("3D prep overhead %v not above 1D %v", o3, o1)
+	}
+	if v.PrepOverhead(64, 1) >= v.PrepOverhead(1728, 1) {
+		t.Fatal("prep overhead must grow with task count")
+	}
+}
+
+func TestVirtualRebindPanics(t *testing.T) {
+	v := NewAmberVirtual(2881, 1)
+	s1 := virtSpec()
+	newVirtReplica(v, s1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("reusing a virtual engine across specs did not panic")
+		}
+	}()
+	s2 := virtSpec()
+	r2 := &core.Replica{ID: 0, Slot: 0, Alive: true, Params: md.Params{TemperatureK: 300}}
+	v.InitReplica(r2, s2)
+}
+
+// --- real engine ---
+
+func TestRealEngineFlavors(t *testing.T) {
+	top, st := md.BuildAlanineDipeptide()
+	sys := md.MustNewSystem(top, md.Box{}, 0)
+	if _, err := NewReal("gromacs", sys, st, 1); err == nil {
+		t.Error("unknown flavor accepted")
+	}
+	for _, flavor := range []string{"amber", "namd"} {
+		e, err := NewReal(flavor, sys, st, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", flavor, err)
+		}
+		if !strings.Contains(e.Name(), flavor) {
+			t.Fatalf("engine name %q lacks flavor", e.Name())
+		}
+	}
+}
+
+func TestRealEngineMDTaskRuns(t *testing.T) {
+	top, st := md.BuildAlanineDipeptide()
+	sys := md.MustNewSystem(top, md.Box{}, 0)
+	prm := md.Params{TemperatureK: 300}
+	md.Minimize(sys, st, prm, 500, 1e-2)
+	e := MustNewReal("amber", sys, st, 42)
+	spec := &core.Spec{
+		Name:            "real",
+		Dims:            []core.Dimension{{Type: exchange.Temperature, Values: []float64{290, 310}}},
+		Pattern:         core.PatternSynchronous,
+		CoresPerReplica: 1,
+		StepsPerCycle:   50,
+		Cycles:          1,
+		Seed:            1,
+	}
+	r := &core.Replica{ID: 0, Slot: 0, Alive: true, Params: md.Params{TemperatureK: 290}}
+	e.InitReplica(r, spec)
+	if r.State == nil {
+		t.Fatal("InitReplica did not attach a state")
+	}
+	ts := e.MDTask(r, spec, 0)
+	if ts.Run == nil {
+		t.Fatal("real MD task lacks a Run closure")
+	}
+	if err := ts.Run(); err != nil {
+		t.Fatalf("MD task failed: %v", err)
+	}
+	if e.WindowCount() != 1 {
+		t.Fatalf("window count %d, want 1", e.WindowCount())
+	}
+	tr := e.WindowTrajectory(0)
+	if tr == nil || tr.Steps != 50 {
+		t.Fatalf("trajectory steps %v, want 50", tr)
+	}
+	// Energies well defined.
+	own := e.OwnEnergy(r)
+	hot := r.Params.Clone()
+	hot.SaltM = 1.0
+	cross := e.CrossEnergy(r, hot)
+	if math.IsNaN(own) || math.IsNaN(cross) {
+		t.Fatal("NaN energies")
+	}
+	if own == cross {
+		t.Fatal("salt change did not alter the real cross energy")
+	}
+}
+
+func TestRealEngineNAMDInputRoundTrip(t *testing.T) {
+	top, st := md.BuildAlanineDipeptide()
+	sys := md.MustNewSystem(top, md.Box{}, 0)
+	e := MustNewReal("namd", sys, st, 42)
+	spec := &core.Spec{
+		Name:            "real-namd",
+		Dims:            []core.Dimension{{Type: exchange.Temperature, Values: []float64{300}}},
+		Pattern:         core.PatternSynchronous,
+		CoresPerReplica: 1,
+		StepsPerCycle:   20,
+		Cycles:          1,
+	}
+	r := &core.Replica{ID: 0, Slot: 0, Alive: true, Params: md.Params{TemperatureK: 300}}
+	e.InitReplica(r, spec)
+	input := e.GenerateInput(r, spec)
+	if !strings.Contains(input, "langevin") {
+		t.Fatalf("NAMD input missing langevin block:\n%s", input)
+	}
+	if err := e.MDTask(r, spec, 0).Run(); err != nil {
+		t.Fatalf("NAMD-flavoured task failed: %v", err)
+	}
+}
+
+func TestRealEngineTorsionIndex(t *testing.T) {
+	top, st := md.BuildAlanineDipeptide()
+	sys := md.MustNewSystem(top, md.Box{}, 0)
+	e := MustNewReal("amber", sys, st, 1)
+	if e.TorsionIndex("phi") != top.FindDihedral("phi") {
+		t.Fatal("torsion index mismatch")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown torsion label did not panic")
+		}
+	}()
+	e.TorsionIndex("chi99")
+}
+
+func TestMixDeterministic(t *testing.T) {
+	if mix(1, 2, 3) != mix(1, 2, 3) {
+		t.Fatal("mix not deterministic")
+	}
+	if mix(1, 2, 3) == mix(3, 2, 1) {
+		t.Fatal("mix ignores order")
+	}
+}

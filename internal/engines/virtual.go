@@ -1,0 +1,270 @@
+package engines
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/exchange"
+	"repro/internal/md"
+	"repro/internal/task"
+)
+
+// Virtual is a cost-model-driven engine adapter: it describes tasks for
+// the virtual-time pilot backend and synthesizes thermodynamically
+// plausible energies so that exchange decisions have realistic
+// acceptance statistics. It implements core.Engine.
+//
+// Synthetic thermodynamics: after each MD segment the replica's
+// potential energy is redrawn from a Gaussian with temperature-dependent
+// mean and width (effective heat capacity CvEff); umbrella dimensions
+// maintain a pseudo torsion coordinate distributed around the window
+// centre; salt dimensions maintain a pseudo ion-pairing coordinate whose
+// energy couples to sqrt(concentration) (the Debye–Hückel leading
+// order).
+type Virtual struct {
+	name   string
+	cost   CostModel
+	natoms int
+	rng    *rand.Rand
+
+	// Synthetic-thermodynamics parameters (exported-by-constructor
+	// defaults tuned to paper-like acceptance ratios).
+	CvEff     float64 // kcal/mol/K: effective heat capacity
+	RefT      float64 // K: reference temperature for the energy mean
+	E0        float64 // kcal/mol: baseline energy
+	KEff      float64 // kcal/mol/rad²: effective umbrella coupling
+	SigmaU    float64 // rad: pseudo-torsion spread around the window
+	SaltMean  float64 // pseudo ion-pairing coordinate mean
+	SaltSigma float64 // its spread
+	SaltScale float64 // kcal/mol per sqrt(M): salt energy coupling
+	PHSites   int     // titratable sites of the pseudo protein
+	PHPKa     float64 // their common pKa
+	PHSigma   float64 // protonation-count spread
+
+	torsionIdx map[string]int
+	// boundSpec is the one simulation spec this engine instance serves,
+	// matching RepEx's one-AMM-per-simulation design; it is captured at
+	// first task preparation and may not change.
+	boundSpec *core.Spec
+}
+
+// NewVirtual returns a virtual adapter with the given executable cost
+// model and system size (atom count).
+func NewVirtual(name string, cost CostModel, natoms int, seed int64) *Virtual {
+	if natoms <= 0 {
+		panic(fmt.Sprintf("engines: non-positive atom count %d", natoms))
+	}
+	return &Virtual{
+		name:       name,
+		cost:       cost,
+		natoms:     natoms,
+		rng:        rand.New(rand.NewSource(seed)),
+		CvEff:      2.0,
+		RefT:       300,
+		E0:         -2500,
+		KEff:       3.0,
+		SigmaU:     0.5,
+		SaltMean:   -10,
+		SaltSigma:  4,
+		SaltScale:  8,
+		PHSites:    8,
+		PHPKa:      6.5,
+		PHSigma:    1.2,
+		torsionIdx: map[string]int{},
+	}
+}
+
+// Name returns the adapter name.
+func (v *Virtual) Name() string { return v.name }
+
+// Atoms returns the modelled system size.
+func (v *Virtual) Atoms() int { return v.natoms }
+
+// InitReplica allocates the synthetic coordinate vector:
+// one slot per dimension plus a trailing base-energy fluctuation.
+func (v *Virtual) InitReplica(r *core.Replica, s *core.Spec) {
+	v.bind(s)
+	r.Synth = make([]float64, len(s.Dims)+1)
+	v.resample(r, s)
+	r.Energy = v.evalEnergy(r, r.Params, s)
+}
+
+// resample redraws the synthetic coordinates, emulating the
+// decorrelation of an MD segment.
+func (v *Virtual) resample(r *core.Replica, s *core.Spec) {
+	uSeen := 0
+	for d, dim := range s.Dims {
+		switch dim.Type {
+		case exchange.Umbrella:
+			center := v.restraintCenter(r.Params, uSeen)
+			r.Synth[d] = md.WrapAngle(center + v.SigmaU*v.rng.NormFloat64())
+			uSeen++
+		case exchange.Salt:
+			r.Synth[d] = v.SaltMean + v.SaltSigma*v.rng.NormFloat64()
+		case exchange.PH:
+			// Pseudo protonation count around the Henderson-
+			// Hasselbalch mean at the replica's pH.
+			mean := float64(v.PHSites) / (1 + math.Pow(10, r.Params.PH-v.PHPKa))
+			r.Synth[d] = mean + v.PHSigma*v.rng.NormFloat64()
+		}
+	}
+	t := r.Params.TemperatureK
+	mean := v.CvEff * (t - v.RefT)
+	sigma := math.Sqrt(v.CvEff*md.KB) * t
+	r.Synth[len(s.Dims)] = mean + sigma*v.rng.NormFloat64()
+}
+
+// restraintCenter returns the centre of the i-th umbrella restraint in
+// params (umbrella dims map to restraints in dimension order).
+func (v *Virtual) restraintCenter(p md.Params, i int) float64 {
+	if i < len(p.Restraints) {
+		return p.Restraints[i].Center
+	}
+	return 0
+}
+
+// evalEnergy computes the synthetic potential of r's coordinates under
+// arbitrary parameters.
+func (v *Virtual) evalEnergy(r *core.Replica, under md.Params, s *core.Spec) float64 {
+	e := v.E0 + r.Synth[len(s.Dims)]
+	uSeen := 0
+	for d, dim := range s.Dims {
+		switch dim.Type {
+		case exchange.Umbrella:
+			dx := md.WrapAngle(r.Synth[d] - v.restraintCenter(under, uSeen))
+			e += v.KEff * dx * dx
+			uSeen++
+		case exchange.Salt:
+			e += v.SaltScale * r.Synth[d] * math.Sqrt(under.SaltM)
+		case exchange.PH:
+			// Semi-grand-canonical protonation term: each bound proton
+			// costs kT ln10 (pH - pKa).
+			kT := md.KB * under.TemperatureK
+			e += r.Synth[d] * math.Ln10 * kT * (under.PH - v.PHPKa)
+		}
+	}
+	return e
+}
+
+var _ core.Engine = (*Virtual)(nil)
+
+// MDTask describes the MD segment task for a replica.
+func (v *Virtual) MDTask(r *core.Replica, s *core.Spec, dim int) *task.Spec {
+	v.bind(s)
+	inFiles := v.cost.MDInFiles(s.Dims[dim].Type)
+	outFiles := v.cost.MDOutFiles(s.Dims[dim].Type)
+	return &task.Spec{
+		Name:      fmt.Sprintf("md-r%03d-c%02d", r.ID, r.Cycle),
+		Kind:      task.MD,
+		ReplicaID: r.ID,
+		Cores:     s.CoresPerReplica,
+		Duration:  v.cost.MDSeconds(v.natoms, s.StepsPerCycle, s.CoresPerReplica),
+		InFiles:   inFiles,
+		InBytes:   int64(inFiles) * v.cost.MDFileBytes,
+		OutFiles:  outFiles,
+		OutBytes:  int64(outFiles) * v.cost.MDFileBytes,
+		CanFail:   true,
+	}
+}
+
+// ExchangeTask describes the single exchange-computation task for a
+// dimension over n replicas.
+func (v *Virtual) ExchangeTask(dim int, n int, s *core.Spec) *task.Spec {
+	v.bind(s)
+	return &task.Spec{
+		Name:     fmt.Sprintf("ex-%s-d%d", s.Dims[dim].Type.Code(), dim),
+		Kind:     task.Exchange,
+		Cores:    1,
+		Duration: v.cost.ExchangeSeconds(s.Dims[dim].Type, n),
+		InFiles:  2,
+		InBytes:  8 << 10,
+		OutFiles: 1,
+		OutBytes: 4 << 10,
+	}
+}
+
+// SinglePointTasks returns one per-replica energy task for salt
+// dimensions, SPEWidth cores wide, and nothing otherwise. This is the
+// task doubling that makes S exchange expensive (§4.2).
+func (v *Virtual) SinglePointTasks(dim int, group []*core.Replica, s *core.Spec) []*task.Spec {
+	v.bind(s)
+	if s.Dims[dim].Type != exchange.Salt {
+		return nil
+	}
+	width := SPEWidth
+	if len(group) < width {
+		width = len(group)
+	}
+	if width < 1 {
+		width = 1
+	}
+	specs := make([]*task.Spec, 0, len(group))
+	for _, r := range group {
+		specs = append(specs, &task.Spec{
+			Name:      fmt.Sprintf("spe-r%03d", r.ID),
+			Kind:      task.SinglePoint,
+			ReplicaID: r.ID,
+			Cores:     width,
+			Duration:  v.cost.SPESeconds(v.natoms),
+			InFiles:   2,
+			InBytes:   v.cost.MDFileBytes,
+			OutFiles:  1,
+			OutBytes:  4 << 10,
+		})
+	}
+	return specs
+}
+
+// boundSpec is the one simulation spec this engine instance serves.
+var errRebind = fmt.Errorf("engines: virtual engine reused across different simulations")
+
+func (v *Virtual) bind(s *core.Spec) {
+	if v.boundSpec == nil {
+		v.boundSpec = s
+	} else if v.boundSpec != s {
+		panic(errRebind)
+	}
+}
+
+// OwnEnergy redraws the replica's synthetic configuration (the MD
+// segment decorrelated it) and returns its energy under its own
+// parameters. Called once per completed MD segment.
+func (v *Virtual) OwnEnergy(r *core.Replica) float64 {
+	s := v.boundSpec
+	if s == nil {
+		panic("engines: OwnEnergy before any task preparation")
+	}
+	v.resample(r, s)
+	return v.evalEnergy(r, r.Params, s)
+}
+
+// CrossEnergy evaluates the stored configuration under foreign
+// parameters.
+func (v *Virtual) CrossEnergy(r *core.Replica, under md.Params) float64 {
+	s := v.boundSpec
+	if s == nil {
+		panic("engines: CrossEnergy before any task preparation")
+	}
+	return v.evalEnergy(r, under, s)
+}
+
+// TorsionIndex assigns stable indexes to torsion labels (virtual engines
+// have no real topology).
+func (v *Virtual) TorsionIndex(label string) int {
+	if i, ok := v.torsionIdx[label]; ok {
+		return i
+	}
+	i := len(v.torsionIdx)
+	v.torsionIdx[label] = i
+	return i
+}
+
+// PrepOverhead models RepEx's client-side task preparation: near-linear
+// in the task count, larger for multi-dimensional simulations ("more
+// data associated with each replica, complexity of data structures is
+// increased" — §4.1).
+func (v *Virtual) PrepOverhead(nTasks, ndims int) float64 {
+	return (0.5 + 0.002*float64(nTasks)) * (1 + 0.7*float64(ndims-1))
+}

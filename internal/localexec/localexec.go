@@ -1,0 +1,210 @@
+// Package localexec implements task.Runtime on real goroutines and the
+// wall clock. It is used when the MD engine genuinely integrates the
+// equations of motion (validation runs and the examples), as opposed to
+// the virtual-time pilot backend used for the scaling experiments.
+//
+// Cores are modelled as a weighted semaphore: a task occupying N cores
+// holds N slots, so oversubscription behaviour (Execution Mode II) is
+// preserved even in real execution.
+package localexec
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/task"
+)
+
+// Runtime executes tasks on local goroutines.
+type Runtime struct {
+	start time.Time
+	cores int
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	inUse int
+
+	// notify wakes AwaitAnyUntil waiters on any task completion.
+	notifyMu sync.Mutex
+	notifyCh chan struct{}
+
+	overhead float64
+}
+
+// New returns a runtime with the given core budget. A non-positive value
+// defaults to 1.
+func New(cores int) *Runtime {
+	if cores <= 0 {
+		cores = 1
+	}
+	r := &Runtime{start: time.Now(), cores: cores, notifyCh: make(chan struct{}, 1)}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+// Now returns wall seconds since the runtime was created.
+func (r *Runtime) Now() float64 { return time.Since(r.start).Seconds() }
+
+// Cores returns the core budget.
+func (r *Runtime) Cores() int { return r.cores }
+
+type handle struct {
+	mu   sync.Mutex
+	done bool
+	res  task.Result
+	ch   chan struct{}
+}
+
+func (h *handle) Done() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.done
+}
+
+func (h *handle) Result() task.Result {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.res
+}
+
+func (h *handle) complete(res task.Result) {
+	h.mu.Lock()
+	h.done = true
+	h.res = res
+	h.mu.Unlock()
+	close(h.ch)
+}
+
+// acquire takes n core slots, blocking while the pool is exhausted.
+func (r *Runtime) acquire(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.inUse+n > r.cores {
+		r.cond.Wait()
+	}
+	r.inUse += n
+}
+
+func (r *Runtime) release(n int) {
+	r.mu.Lock()
+	r.inUse -= n
+	r.mu.Unlock()
+	r.cond.Broadcast()
+}
+
+// poke wakes any AwaitAnyUntil waiter.
+func (r *Runtime) poke() {
+	select {
+	case r.notifyCh <- struct{}{}:
+	default:
+	}
+}
+
+// Submit starts the task as soon as cores are available.
+func (r *Runtime) Submit(s *task.Spec) task.Handle {
+	if err := s.Validate(); err != nil {
+		panic(fmt.Sprintf("localexec: invalid task spec: %v", err))
+	}
+	cores := s.Cores
+	if cores > r.cores {
+		// Clamp rather than deadlock: a real laptop cannot refuse a
+		// 16-core MPI task, it just runs it slower.
+		cores = r.cores
+	}
+	h := &handle{ch: make(chan struct{})}
+	submitted := r.Now()
+	go func() {
+		r.acquire(cores)
+		execStart := r.Now()
+		var err error
+		if s.Run != nil {
+			err = s.Run()
+		} else if s.Duration > 0 {
+			// No real work attached: emulate the duration so that
+			// pattern logic (barriers, windows) still behaves.
+			time.Sleep(time.Duration(s.Duration * float64(time.Second)))
+		}
+		execEnd := r.Now()
+		r.release(cores)
+		h.complete(task.Result{
+			Spec:      s,
+			Submitted: submitted,
+			Finished:  execEnd,
+			CoreWait:  execStart - submitted,
+			Exec:      execEnd - execStart,
+			Err:       err,
+		})
+		r.poke()
+	}()
+	return h
+}
+
+// Await blocks until the task finishes.
+func (r *Runtime) Await(h task.Handle) task.Result {
+	hh := h.(*handle)
+	<-hh.ch
+	return hh.Result()
+}
+
+// AwaitAll blocks until every handle finishes.
+func (r *Runtime) AwaitAll(hs []task.Handle) []task.Result {
+	res := make([]task.Result, len(hs))
+	for i, h := range hs {
+		res[i] = r.Await(h)
+	}
+	return res
+}
+
+// AwaitAnyUntil blocks until a new completion or the absolute deadline
+// (in runtime seconds) and returns indexes of all done handles.
+func (r *Runtime) AwaitAnyUntil(hs []task.Handle, deadline float64) []int {
+	doneIdx := func() []int {
+		var idx []int
+		for i, h := range hs {
+			if h.Done() {
+				idx = append(idx, i)
+			}
+		}
+		return idx
+	}
+	base := doneIdx()
+	if len(base) == len(hs) {
+		return base
+	}
+	for {
+		remain := deadline - r.Now()
+		if remain <= 0 {
+			return doneIdx()
+		}
+		timer := time.NewTimer(time.Duration(remain * float64(time.Second)))
+		select {
+		case <-r.notifyCh:
+			timer.Stop()
+			if cur := doneIdx(); len(cur) > len(base) {
+				return cur
+			}
+		case <-timer.C:
+			return doneIdx()
+		}
+	}
+}
+
+// SleepUntil blocks until the wall clock reaches runtime second t.
+func (r *Runtime) SleepUntil(t float64) {
+	if d := t - r.Now(); d > 0 {
+		time.Sleep(time.Duration(d * float64(time.Second)))
+	}
+}
+
+// Overhead records client-side overhead; it does not sleep in wall time.
+func (r *Runtime) Overhead(d float64) {
+	if d > 0 {
+		r.overhead += d
+	}
+}
+
+// OverheadTotal returns accumulated client-side overhead.
+func (r *Runtime) OverheadTotal() float64 { return r.overhead }
+
+var _ task.Runtime = (*Runtime)(nil)

@@ -1,0 +1,160 @@
+package localexec
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/task"
+)
+
+func TestRunRealWork(t *testing.T) {
+	rt := New(2)
+	var ran atomic.Bool
+	h := rt.Submit(&task.Spec{Name: "job", Cores: 1, Run: func() error {
+		ran.Store(true)
+		return nil
+	}})
+	res := rt.Await(h)
+	if !ran.Load() {
+		t.Fatal("Run function did not execute")
+	}
+	if res.Err != nil {
+		t.Fatalf("err = %v, want nil", res.Err)
+	}
+	if res.Finished < res.Submitted {
+		t.Fatal("finished before submitted")
+	}
+}
+
+func TestErrorPropagates(t *testing.T) {
+	rt := New(1)
+	boom := errors.New("boom")
+	h := rt.Submit(&task.Spec{Name: "bad", Cores: 1, Run: func() error { return boom }})
+	if res := rt.Await(h); !errors.Is(res.Err, boom) {
+		t.Fatalf("err = %v, want boom", res.Err)
+	}
+}
+
+func TestCoreLimitSerializes(t *testing.T) {
+	rt := New(1)
+	var concurrent, peak atomic.Int32
+	work := func() error {
+		c := concurrent.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+		concurrent.Add(-1)
+		return nil
+	}
+	var hs []task.Handle
+	for i := 0; i < 4; i++ {
+		hs = append(hs, rt.Submit(&task.Spec{Name: "w", Cores: 1, Run: work}))
+	}
+	rt.AwaitAll(hs)
+	if peak.Load() != 1 {
+		t.Fatalf("peak concurrency %d, want 1 on a 1-core runtime", peak.Load())
+	}
+}
+
+func TestWideTaskClampedNotDeadlocked(t *testing.T) {
+	rt := New(2)
+	h := rt.Submit(&task.Spec{Name: "wide", Cores: 64, Run: func() error { return nil }})
+	done := make(chan struct{})
+	go func() {
+		rt.Await(h)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("wide task deadlocked instead of being clamped")
+	}
+}
+
+func TestAwaitAllOrder(t *testing.T) {
+	rt := New(4)
+	specs := []*task.Spec{
+		{Name: "a", Cores: 1, Run: func() error { time.Sleep(30 * time.Millisecond); return nil }},
+		{Name: "b", Cores: 1, Run: func() error { return nil }},
+	}
+	results := task.RunAll(rt, specs)
+	if results[0].Spec.Name != "a" || results[1].Spec.Name != "b" {
+		t.Fatal("results not in submission order")
+	}
+}
+
+func TestAwaitAnyUntilCompletion(t *testing.T) {
+	rt := New(4)
+	hs := []task.Handle{
+		rt.Submit(&task.Spec{Name: "slow", Cores: 1, Run: func() error {
+			time.Sleep(300 * time.Millisecond)
+			return nil
+		}}),
+		rt.Submit(&task.Spec{Name: "fast", Cores: 1, Run: func() error {
+			time.Sleep(10 * time.Millisecond)
+			return nil
+		}}),
+	}
+	done := rt.AwaitAnyUntil(hs, rt.Now()+2.0)
+	if len(done) == 0 {
+		t.Fatal("AwaitAnyUntil returned empty before deadline")
+	}
+	for _, i := range done {
+		if hs[i].(*handle).Result().Spec.Name == "slow" && len(done) == 1 {
+			t.Fatal("slow task finished before fast")
+		}
+	}
+	rt.AwaitAll(hs)
+}
+
+func TestAwaitAnyUntilDeadline(t *testing.T) {
+	rt := New(4)
+	hs := []task.Handle{
+		rt.Submit(&task.Spec{Name: "slow", Cores: 1, Run: func() error {
+			time.Sleep(200 * time.Millisecond)
+			return nil
+		}}),
+	}
+	start := time.Now()
+	done := rt.AwaitAnyUntil(hs, rt.Now()+0.05)
+	if len(done) != 0 {
+		t.Fatalf("done set %v, want empty at deadline", done)
+	}
+	if elapsed := time.Since(start); elapsed > 150*time.Millisecond {
+		t.Fatalf("deadline overshoot: %v", elapsed)
+	}
+	rt.AwaitAll(hs)
+}
+
+func TestDurationEmulationWithoutRun(t *testing.T) {
+	rt := New(1)
+	h := rt.Submit(&task.Spec{Name: "sleepy", Cores: 1, Duration: 0.05})
+	res := rt.Await(h)
+	if res.Exec < 0.04 {
+		t.Fatalf("emulated duration %v, want >= ~0.05", res.Exec)
+	}
+}
+
+func TestOverheadAccumulatesWithoutSleeping(t *testing.T) {
+	rt := New(1)
+	start := time.Now()
+	rt.Overhead(100)
+	if time.Since(start) > time.Second {
+		t.Fatal("Overhead slept in wall time")
+	}
+	if rt.OverheadTotal() != 100 {
+		t.Fatalf("overhead total %v, want 100", rt.OverheadTotal())
+	}
+}
+
+func TestDefaultsToOneCore(t *testing.T) {
+	if New(0).Cores() != 1 || New(-3).Cores() != 1 {
+		t.Fatal("non-positive core count did not default to 1")
+	}
+}

@@ -1,0 +1,173 @@
+package md
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Integrator advances a state in time under a system and parameters.
+type Integrator interface {
+	// Step advances the state by n time steps.
+	Step(sys *System, st *State, prm Params, n int)
+}
+
+// VelocityVerlet is the symplectic NVE integrator, used mainly for
+// energy-conservation verification.
+type VelocityVerlet struct {
+	// Dt is the time step in ps.
+	Dt float64
+	// scratch force buffers
+	f []Vec3
+}
+
+// Step advances n velocity-Verlet steps.
+func (vv *VelocityVerlet) Step(sys *System, st *State, prm Params, n int) {
+	na := sys.Top.N()
+	if len(vv.f) != na {
+		vv.f = make([]Vec3, na)
+		sys.EnergyForces(st, prm, vv.f)
+	}
+	dt := vv.Dt
+	for step := 0; step < n; step++ {
+		for i := 0; i < na; i++ {
+			m := sys.Top.Atoms[i].Mass
+			a := vv.f[i].Scale(AccelFactor / m)
+			st.Vel[i] = st.Vel[i].Add(a.Scale(0.5 * dt))
+			st.Pos[i] = st.Pos[i].Add(st.Vel[i].Scale(dt))
+		}
+		sys.EnergyForces(st, prm, vv.f)
+		for i := 0; i < na; i++ {
+			m := sys.Top.Atoms[i].Mass
+			a := vv.f[i].Scale(AccelFactor / m)
+			st.Vel[i] = st.Vel[i].Add(a.Scale(0.5 * dt))
+		}
+	}
+}
+
+// LangevinBAOAB is the BAOAB splitting of Langevin dynamics
+// (Leimkuhler & Matthews), a high-quality canonical sampler. The
+// thermostat temperature comes from the replica Params, which is what
+// makes temperature a swappable replica-exchange parameter.
+type LangevinBAOAB struct {
+	// Dt is the time step in ps.
+	Dt float64
+	// Gamma is the friction coefficient in 1/ps.
+	Gamma float64
+	// RNG drives the stochastic kick; required.
+	RNG *rand.Rand
+
+	f []Vec3
+}
+
+// NewLangevin returns a BAOAB integrator with the given step, friction
+// and seed.
+func NewLangevin(dt, gamma float64, seed int64) *LangevinBAOAB {
+	return &LangevinBAOAB{Dt: dt, Gamma: gamma, RNG: rand.New(rand.NewSource(seed))}
+}
+
+// Step advances n BAOAB steps at the temperature in prm.
+func (lg *LangevinBAOAB) Step(sys *System, st *State, prm Params, n int) {
+	if lg.RNG == nil {
+		panic("md: LangevinBAOAB requires an RNG")
+	}
+	if err := prm.Validate(); err != nil {
+		panic(fmt.Sprintf("md: %v", err))
+	}
+	na := sys.Top.N()
+	if len(lg.f) != na {
+		lg.f = make([]Vec3, na)
+	}
+	sys.EnergyForces(st, prm, lg.f)
+	dt := lg.Dt
+	c1 := math.Exp(-lg.Gamma * dt)
+	c2 := math.Sqrt(1 - c1*c1)
+	kT := KB * prm.TemperatureK
+	for step := 0; step < n; step++ {
+		// B: half kick.
+		for i := 0; i < na; i++ {
+			m := sys.Top.Atoms[i].Mass
+			st.Vel[i] = st.Vel[i].Add(lg.f[i].Scale(0.5 * dt * AccelFactor / m))
+		}
+		// A: half drift.
+		for i := 0; i < na; i++ {
+			st.Pos[i] = st.Pos[i].Add(st.Vel[i].Scale(0.5 * dt))
+		}
+		// O: Ornstein-Uhlenbeck exact step.
+		for i := 0; i < na; i++ {
+			m := sys.Top.Atoms[i].Mass
+			s := math.Sqrt(kT * AccelFactor / m)
+			st.Vel[i] = Vec3{
+				c1*st.Vel[i].X + c2*s*lg.RNG.NormFloat64(),
+				c1*st.Vel[i].Y + c2*s*lg.RNG.NormFloat64(),
+				c1*st.Vel[i].Z + c2*s*lg.RNG.NormFloat64(),
+			}
+		}
+		// A: half drift.
+		for i := 0; i < na; i++ {
+			st.Pos[i] = st.Pos[i].Add(st.Vel[i].Scale(0.5 * dt))
+		}
+		// B: half kick with fresh forces.
+		sys.EnergyForces(st, prm, lg.f)
+		for i := 0; i < na; i++ {
+			m := sys.Top.Atoms[i].Mass
+			st.Vel[i] = st.Vel[i].Add(lg.f[i].Scale(0.5 * dt * AccelFactor / m))
+		}
+	}
+}
+
+// InitVelocities draws Maxwell-Boltzmann velocities at temperature tK and
+// removes the centre-of-mass drift.
+func InitVelocities(sys *System, st *State, tK float64, rng *rand.Rand) {
+	kT := KB * tK
+	var pTot Vec3
+	mTot := 0.0
+	for i, a := range sys.Top.Atoms {
+		s := math.Sqrt(kT * AccelFactor / a.Mass)
+		st.Vel[i] = Vec3{s * rng.NormFloat64(), s * rng.NormFloat64(), s * rng.NormFloat64()}
+		pTot = pTot.Add(st.Vel[i].Scale(a.Mass))
+		mTot += a.Mass
+	}
+	drift := pTot.Scale(1 / mTot)
+	for i := range st.Vel {
+		st.Vel[i] = st.Vel[i].Sub(drift)
+	}
+}
+
+// Minimize performs simple steepest-descent energy minimisation for at
+// most maxIter iterations or until the maximum force component falls
+// below fTol (kcal/mol/Å). It returns the final potential energy.
+func Minimize(sys *System, st *State, prm Params, maxIter int, fTol float64) float64 {
+	n := sys.Top.N()
+	f := make([]Vec3, n)
+	step := 1e-4
+	e := sys.EnergyForces(st, prm, f).Potential()
+	for iter := 0; iter < maxIter; iter++ {
+		fmax := 0.0
+		for i := 0; i < n; i++ {
+			fmax = math.Max(fmax, math.Abs(f[i].X))
+			fmax = math.Max(fmax, math.Abs(f[i].Y))
+			fmax = math.Max(fmax, math.Abs(f[i].Z))
+		}
+		if fmax < fTol {
+			break
+		}
+		trial := st.Clone()
+		for i := 0; i < n; i++ {
+			trial.Pos[i] = trial.Pos[i].Add(f[i].Scale(step))
+		}
+		eTrial := sys.Energy(trial, prm).Potential()
+		if eTrial < e {
+			copy(st.Pos, trial.Pos)
+			e = eTrial
+			sys.EnergyForces(st, prm, f)
+			step *= 1.2
+		} else {
+			step *= 0.5
+			if step < 1e-12 {
+				break
+			}
+		}
+	}
+	return e
+}

@@ -1,0 +1,132 @@
+package md
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestProtonatedFractionLimits(t *testing.T) {
+	s := TitratableSite{PKa: 7}
+	if f := s.ProtonatedFraction(7); math.Abs(f-0.5) > 1e-12 {
+		t.Fatalf("fraction at pKa = %v, want 0.5", f)
+	}
+	if f := s.ProtonatedFraction(1); f < 0.999 {
+		t.Fatalf("fraction at low pH = %v, want ~1", f)
+	}
+	if f := s.ProtonatedFraction(13); f > 0.001 {
+		t.Fatalf("fraction at high pH = %v, want ~0", f)
+	}
+}
+
+func TestEffectiveChargeInterpolates(t *testing.T) {
+	s := TitratableSite{PKa: 4, ChargeProt: -0.5, ChargeDeprot: -0.95}
+	qLow := s.EffectiveCharge(1)   // fully protonated
+	qHigh := s.EffectiveCharge(12) // fully deprotonated
+	if math.Abs(qLow+0.5) > 1e-3 {
+		t.Fatalf("low-pH charge %v, want ~-0.5", qLow)
+	}
+	if math.Abs(qHigh+0.95) > 1e-3 {
+		t.Fatalf("high-pH charge %v, want ~-0.95", qHigh)
+	}
+	qMid := s.EffectiveCharge(4)
+	if math.Abs(qMid-(-0.725)) > 1e-6 {
+		t.Fatalf("pKa charge %v, want midpoint -0.725", qMid)
+	}
+}
+
+// Property: effective charge is monotone in pH between the two state
+// charges.
+func TestPropertyEffectiveChargeMonotone(t *testing.T) {
+	s := TitratableSite{PKa: 6, ChargeProt: 0.8, ChargeDeprot: 0.35}
+	f := func(a, b float64) bool {
+		pa := math.Mod(math.Abs(a), 14)
+		pb := math.Mod(math.Abs(b), 14)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		qa, qb := s.EffectiveCharge(pa), s.EffectiveCharge(pb)
+		// Protonated charge is higher here, so charge decreases with pH.
+		return qa >= qb-1e-12 &&
+			qa <= s.ChargeProt+1e-12 && qb >= s.ChargeDeprot-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelfFreeEnergyShape(t *testing.T) {
+	s := TitratableSite{PKa: 7}
+	// Far above the pKa the proton is gone: F -> 0.
+	if f := s.SelfFreeEnergy(13, 300); math.Abs(f) > 1e-3 {
+		t.Fatalf("F at high pH = %v, want ~0", f)
+	}
+	// Far below, F ~ -kT ln10 (pKa - pH) < 0 and decreasing.
+	f3 := s.SelfFreeEnergy(3, 300)
+	f5 := s.SelfFreeEnergy(5, 300)
+	if !(f3 < f5 && f5 < 0) {
+		t.Fatalf("F not decreasing toward low pH: F(3)=%v F(5)=%v", f3, f5)
+	}
+}
+
+func TestTitratableDipeptideEnergyDependsOnPH(t *testing.T) {
+	top, st := BuildTitratableDipeptide()
+	sys := MustNewSystem(top, Box{}, 0)
+	e4 := sys.Energy(st, Params{TemperatureK: 300, PH: 4})
+	e10 := sys.Energy(st, Params{TemperatureK: 300, PH: 10})
+	if e4.Potential() == e10.Potential() {
+		t.Fatal("potential energy identical at pH 4 and 10")
+	}
+	if e4.Titration == e10.Titration {
+		t.Fatal("titration term identical at pH 4 and 10")
+	}
+	if e4.Coulomb == e10.Coulomb {
+		t.Fatal("Coulomb term identical at pH 4 and 10 (effective charges unused)")
+	}
+	// Without pH the titration term vanishes and charges are static.
+	e0 := sys.Energy(st, Params{TemperatureK: 300})
+	if e0.Titration != 0 {
+		t.Fatalf("titration term %v without pH coupling, want 0", e0.Titration)
+	}
+}
+
+func TestPHForcesMatchNumerical(t *testing.T) {
+	// The analytic forces must stay consistent with the pH-effective
+	// charges.
+	top, st := BuildTitratableDipeptide()
+	sys := MustNewSystem(top, Box{}, 0)
+	prm := Params{TemperatureK: 300, PH: 5.5, SaltM: 0.1}
+	analytic := make([]Vec3, top.N())
+	sys.EnergyForces(st, prm, analytic)
+	numeric := numericalForces(sys, st, prm)
+	for i := range analytic {
+		diff := analytic[i].Sub(numeric[i]).Norm()
+		scale := math.Max(1, numeric[i].Norm())
+		if diff/scale > 1e-4 {
+			t.Fatalf("atom %d: analytic %v vs numeric %v", i, analytic[i], numeric[i])
+		}
+	}
+}
+
+func TestParamsValidatePH(t *testing.T) {
+	if err := (Params{TemperatureK: 300, PH: 7}).Validate(); err != nil {
+		t.Fatalf("valid pH rejected: %v", err)
+	}
+	if err := (Params{TemperatureK: 300, PH: -1}).Validate(); err == nil {
+		t.Fatal("negative pH accepted")
+	}
+	if err := (Params{TemperatureK: 300, PH: 15}).Validate(); err == nil {
+		t.Fatal("pH 15 accepted")
+	}
+}
+
+func TestPlainDipeptideUnaffectedByPH(t *testing.T) {
+	// Without titratable sites, pH must not change the energy.
+	top, st := BuildAlanineDipeptide()
+	sys := MustNewSystem(top, Box{}, 0)
+	e1 := sys.Energy(st, Params{TemperatureK: 300, PH: 3}).Potential()
+	e2 := sys.Energy(st, Params{TemperatureK: 300, PH: 11}).Potential()
+	if e1 != e2 {
+		t.Fatal("pH changed the energy of a system without titratable sites")
+	}
+}

@@ -1,0 +1,337 @@
+// Package pilot implements a pilot-job runtime in virtual time, modelled
+// on RADICAL-Pilot (Merzky et al.), the runtime system RepEx builds on.
+//
+// A Pilot is a placeholder job: it waits in the machine's batch queue,
+// then holds a block of cores for the workload. Compute units (tasks) are
+// submitted to the pilot independently of the machine's batch system and
+// go through the RADICAL-Pilot unit lifecycle:
+//
+//	NEW -> STAGING_IN -> SCHEDULING -> EXECUTING -> STAGING_OUT -> DONE/FAILED
+//
+// Three overhead sources are modelled explicitly because the paper
+// measures them (Figure 5):
+//
+//   - staging through the shared filesystem (T_data),
+//   - the agent's serialized task launcher, making launch overhead
+//     proportional to the number of concurrent tasks (T_RP-over), and
+//   - a wave-scheduling penalty for units that had to wait for cores
+//     (the RP 0.35 "MPI task scheduling issue" visible in Figure 11b).
+package pilot
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/task"
+)
+
+// ErrTaskFailed is the error recorded on a unit killed by fault injection.
+var ErrTaskFailed = errors.New("pilot: task failed (injected fault)")
+
+// State is the compute-unit lifecycle state.
+type State int
+
+// Unit lifecycle states.
+const (
+	StateNew State = iota
+	StateStagingIn
+	StateScheduling
+	StateExecuting
+	StateStagingOut
+	StateDone
+	StateFailed
+)
+
+// String returns the RADICAL-Pilot style state name.
+func (s State) String() string {
+	switch s {
+	case StateNew:
+		return "NEW"
+	case StateStagingIn:
+		return "STAGING_IN"
+	case StateScheduling:
+		return "SCHEDULING"
+	case StateExecuting:
+		return "EXECUTING"
+	case StateStagingOut:
+		return "STAGING_OUT"
+	case StateDone:
+		return "DONE"
+	case StateFailed:
+		return "FAILED"
+	default:
+		return fmt.Sprintf("STATE(%d)", int(s))
+	}
+}
+
+// Description describes a pilot: the core count to hold and a walltime.
+type Description struct {
+	Cores    int
+	Walltime float64
+}
+
+// Pilot is a live pilot job.
+type Pilot struct {
+	env      *sim.Env
+	cl       *cluster.Cluster
+	desc     Description
+	cores    *sim.Resource
+	launcher *sim.Resource
+	active   *sim.Completion
+	alloc    *cluster.Allocation
+
+	unitsSubmitted int
+	unitsDone      int
+	unitsFailed    int
+}
+
+// Unit is a submitted compute unit; it implements task.Handle.
+type Unit struct {
+	spec  *task.Spec
+	state State
+	res   task.Result
+	done  *sim.Completion
+}
+
+// Done reports whether the unit reached DONE or FAILED.
+func (u *Unit) Done() bool { return u.done.Done() }
+
+// Result returns the unit's record; valid once Done is true.
+func (u *Unit) Result() task.Result { return u.res }
+
+// State returns the unit's current lifecycle state.
+func (u *Unit) State() State { return u.state }
+
+// completion exposes the underlying sim completion for waiting helpers.
+func (u *Unit) completion() *sim.Completion { return u.done }
+
+// Launch submits a pilot to the cluster's batch queue and returns
+// immediately; the pilot becomes active after the queue wait. An error is
+// returned only for impossible descriptions (more cores than the machine
+// has).
+func Launch(cl *cluster.Cluster, desc Description) (*Pilot, error) {
+	if desc.Cores <= 0 {
+		return nil, fmt.Errorf("pilot: core count must be positive, got %d", desc.Cores)
+	}
+	if desc.Cores > cl.TotalCores() {
+		return nil, fmt.Errorf("pilot: %d cores exceed machine %s (%d cores)",
+			desc.Cores, cl.Config().Name, cl.TotalCores())
+	}
+	env := cl.Env()
+	pl := &Pilot{
+		env:      env,
+		cl:       cl,
+		desc:     desc,
+		cores:    sim.NewResource(env, desc.Cores),
+		launcher: sim.NewResource(env, 1),
+		active:   sim.NewCompletion(env),
+	}
+	env.Go(fmt.Sprintf("pilot-%s", cl.Config().Name), func(p *sim.Proc) {
+		alloc, err := cl.Allocate(p, desc.Cores)
+		if err != nil {
+			pl.active.Complete(err)
+			return
+		}
+		pl.alloc = alloc
+		pl.active.Complete(nil)
+	})
+	return pl, nil
+}
+
+// Active returns the completion fired when the pilot's allocation becomes
+// active (after the batch queue wait).
+func (pl *Pilot) Active() *sim.Completion { return pl.active }
+
+// Cores returns the pilot's core count.
+func (pl *Pilot) Cores() int { return pl.desc.Cores }
+
+// CoresInUse returns cores currently held by executing units.
+func (pl *Pilot) CoresInUse() int { return pl.cores.InUse() }
+
+// BusyCoreSeconds returns the integral of cores held by units over time,
+// the numerator of the utilization metric (Eq. 4).
+func (pl *Pilot) BusyCoreSeconds() float64 { return pl.cores.BusyIntegral() }
+
+// Cancel releases the pilot's machine allocation.
+func (pl *Pilot) Cancel() {
+	if pl.alloc != nil {
+		pl.alloc.Release()
+	}
+}
+
+// Counters reports unit accounting.
+func (pl *Pilot) Counters() (submitted, done, failed int) {
+	return pl.unitsSubmitted, pl.unitsDone, pl.unitsFailed
+}
+
+// SubmitUnit schedules a compute unit on the pilot. It returns
+// immediately; the unit runs through its lifecycle as resources permit.
+func (pl *Pilot) SubmitUnit(spec *task.Spec) *Unit {
+	if err := spec.Validate(); err != nil {
+		panic(fmt.Sprintf("pilot: invalid task spec: %v", err))
+	}
+	if spec.Cores > pl.desc.Cores {
+		panic(fmt.Sprintf("pilot: task %q wants %d cores, pilot has %d",
+			spec.Name, spec.Cores, pl.desc.Cores))
+	}
+	u := &Unit{spec: spec, state: StateNew, done: sim.NewCompletion(pl.env)}
+	u.res.Spec = spec
+	pl.unitsSubmitted++
+	pl.env.Go("unit:"+spec.Name, func(p *sim.Proc) { pl.runUnit(p, u) })
+	return u
+}
+
+// runUnit drives one unit through its lifecycle on process p.
+func (pl *Pilot) runUnit(p *sim.Proc, u *Unit) {
+	cfg := pl.cl.Config()
+	u.res.Submitted = p.Now()
+
+	// The unit cannot progress before the pilot is active.
+	if err := pl.active.Await(p); err != nil {
+		u.state = StateFailed
+		u.res.Err = err
+		u.res.Finished = p.Now()
+		pl.unitsFailed++
+		u.done.Complete(err)
+		return
+	}
+
+	// STAGING_IN: input files through the shared filesystem.
+	u.state = StateStagingIn
+	u.res.StageIn = pl.cl.StageFiles(p, u.spec.InFiles, u.spec.InBytes)
+
+	// SCHEDULING: wait for cores within the pilot.
+	u.state = StateScheduling
+	t0 := p.Now()
+	pl.cores.Acquire(p, u.spec.Cores)
+	u.res.CoreWait = p.Now() - t0
+
+	// Launch: serialized through the agent launcher, plus fixed latency.
+	// Units that had to wait for cores (second and later waves in
+	// Execution Mode II) pay the wave penalty *inside* the serialized
+	// launcher, modelling RADICAL-Pilot 0.35's MPI task re-scheduling
+	// issue: its wall-clock cost grows with the number of re-scheduled
+	// tasks, which is what produces the paper's Figure 11b efficiency
+	// dip in Mode II and the uptick once cores = replicas.
+	t1 := p.Now()
+	gap := cfg.LaunchGap
+	if u.res.CoreWait > 1e-9 && u.spec.Kind == task.MD {
+		// Only the main MD workload is affected: the issue was with
+		// re-scheduling the wide MPI task waves of the simulation
+		// phase, not the short bookkeeping tasks.
+		gap += cfg.WavePenalty
+	}
+	pl.launcher.Acquire(p, 1)
+	p.Sleep(gap)
+	pl.launcher.Release(1)
+	p.Sleep(cfg.LaunchLatency)
+	u.res.Launch = p.Now() - t1
+
+	// EXECUTING.
+	u.state = StateExecuting
+	d := pl.cl.ScaleDuration(u.spec.Duration)
+	failed := u.spec.CanFail && pl.cl.TaskFails()
+	if failed {
+		// Fail partway through the run.
+		p.Sleep(d / 2)
+		u.res.Exec = p.Now() - t1 - u.res.Launch
+		pl.cores.Release(u.spec.Cores)
+		u.state = StateFailed
+		u.res.Err = ErrTaskFailed
+		u.res.Finished = p.Now()
+		pl.unitsFailed++
+		u.done.Complete(ErrTaskFailed)
+		return
+	}
+	t2 := p.Now()
+	p.Sleep(d)
+	u.res.Exec = p.Now() - t2
+	pl.cores.Release(u.spec.Cores)
+
+	// STAGING_OUT.
+	u.state = StateStagingOut
+	u.res.StageOut = pl.cl.StageFiles(p, u.spec.OutFiles, u.spec.OutBytes)
+
+	u.state = StateDone
+	u.res.Finished = p.Now()
+	pl.unitsDone++
+	u.done.Complete(nil)
+}
+
+// ---------------------------------------------------------------------------
+// Runtime adapter: task.Runtime over a pilot, bound to an orchestrator
+// process.
+
+// Runtime adapts a Pilot to the task.Runtime interface. All methods must
+// be called from the bound orchestrator process, mirroring RepEx's
+// single-threaded execution-management module.
+type Runtime struct {
+	pl   *Pilot
+	proc *sim.Proc
+	// OverheadTotal accumulates client-side overhead charged via
+	// Overhead, for reporting T_RepEx-over.
+	OverheadTotal float64
+}
+
+// NewRuntime binds a pilot to an orchestrator process.
+func NewRuntime(pl *Pilot, proc *sim.Proc) *Runtime {
+	return &Runtime{pl: pl, proc: proc}
+}
+
+// Pilot returns the underlying pilot.
+func (r *Runtime) Pilot() *Pilot { return r.pl }
+
+// Now returns the virtual time.
+func (r *Runtime) Now() float64 { return r.proc.Now() }
+
+// Cores returns the pilot's core count.
+func (r *Runtime) Cores() int { return r.pl.Cores() }
+
+// Submit schedules a unit.
+func (r *Runtime) Submit(s *task.Spec) task.Handle { return r.pl.SubmitUnit(s) }
+
+// Await blocks the orchestrator until the unit finishes.
+func (r *Runtime) Await(h task.Handle) task.Result {
+	u := h.(*Unit)
+	u.done.Await(r.proc)
+	return u.res
+}
+
+// AwaitAll blocks until all units finish.
+func (r *Runtime) AwaitAll(hs []task.Handle) []task.Result {
+	res := make([]task.Result, len(hs))
+	for i, h := range hs {
+		res[i] = r.Await(h)
+	}
+	return res
+}
+
+// AwaitAnyUntil blocks until a new unit completes or the deadline passes,
+// returning indexes of all currently done handles.
+func (r *Runtime) AwaitAnyUntil(hs []task.Handle, deadline float64) []int {
+	cs := make([]*sim.Completion, len(hs))
+	for i, h := range hs {
+		cs[i] = h.(*Unit).completion()
+	}
+	return sim.WaitAnyUntil(r.proc, cs, deadline)
+}
+
+// SleepUntil blocks the orchestrator until virtual time t.
+func (r *Runtime) SleepUntil(t float64) {
+	if d := t - r.proc.Now(); d > 0 {
+		r.proc.Sleep(d)
+	}
+}
+
+// Overhead charges client-side (RepEx) overhead to the virtual clock.
+func (r *Runtime) Overhead(d float64) {
+	if d <= 0 {
+		return
+	}
+	r.OverheadTotal += d
+	r.proc.Sleep(d)
+}
+
+var _ task.Runtime = (*Runtime)(nil)

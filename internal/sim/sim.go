@@ -1,0 +1,517 @@
+// Package sim provides a deterministic discrete-event simulation (DES)
+// kernel with a virtual clock, cooperative processes, counting resources
+// and condition signals.
+//
+// The kernel is the substrate on which the HPC cluster model
+// (internal/cluster) and the pilot-job runtime (internal/pilot) execute in
+// virtual time, so that experiments involving thousands of CPU cores and
+// hours of wall time run in milliseconds while preserving ordering,
+// contention and queueing behaviour.
+//
+// Processes are goroutines that run one at a time, hand-shaking with the
+// kernel: at any instant either the kernel or exactly one process is
+// active, which makes the simulation fully deterministic for a fixed seed
+// and spawn order.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Env is a discrete-event simulation environment. The zero value is not
+// usable; create one with NewEnv.
+type Env struct {
+	now    float64
+	events eventHeap
+	seq    int64
+	yield  chan struct{}
+	nlive  int
+	trace  func(t float64, msg string)
+}
+
+// NewEnv returns a fresh simulation environment with the clock at zero.
+func NewEnv() *Env {
+	return &Env{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Env) Now() float64 { return e.now }
+
+// SetTrace installs a trace hook invoked on process wakeups; nil disables.
+func (e *Env) SetTrace(fn func(t float64, msg string)) { e.trace = fn }
+
+// Proc is a cooperative simulation process. All blocking methods
+// (Sleep, Signal.Wait, Resource.Acquire, ...) must be called from the
+// goroutine running the process body.
+type Proc struct {
+	env  *Env
+	name string
+	// resume is the kernel -> process hand-off channel.
+	resume chan struct{}
+	// gen is the wakeup generation; events scheduled for an earlier
+	// generation are stale and are dropped by the kernel. This is what
+	// lets a process wait on "signal OR timeout" without double-resume.
+	gen  int64
+	dead bool
+}
+
+// Name returns the process name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the environment the process belongs to.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() float64 { return p.env.now }
+
+type event struct {
+	t   float64
+	seq int64
+	p   *Proc
+	gen int64
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// schedule arranges for p to be resumed at time t with its current
+// generation. Stale events (generation mismatch at pop time) are dropped.
+func (e *Env) schedule(p *Proc, t float64) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, event{t: t, seq: e.seq, p: p, gen: p.gen})
+}
+
+// Go spawns a new process that starts at the current virtual time.
+// It may be called before Run or from inside another process.
+//
+// fn must return normally: terminating the goroutine without returning
+// (runtime.Goexit, e.g. via testing.T.Fatal) leaves the kernel waiting
+// for a yield that never comes.
+func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{env: e, name: name, resume: make(chan struct{})}
+	e.nlive++
+	go func() {
+		<-p.resume // wait until the kernel first schedules us
+		fn(p)
+		p.dead = true
+		e.nlive--
+		e.yield <- struct{}{}
+	}()
+	e.schedule(p, e.now)
+	return p
+}
+
+// GoAt spawns a process that starts at absolute virtual time t (clamped to
+// now if in the past).
+func (e *Env) GoAt(name string, t float64, fn func(p *Proc)) *Proc {
+	p := &Proc{env: e, name: name, resume: make(chan struct{})}
+	e.nlive++
+	go func() {
+		<-p.resume
+		fn(p)
+		p.dead = true
+		e.nlive--
+		e.yield <- struct{}{}
+	}()
+	e.schedule(p, t)
+	return p
+}
+
+// Run executes events until none remain.
+func (e *Env) Run() { e.RunUntil(math.Inf(1)) }
+
+// RunUntil executes events with timestamps <= t and then stops, leaving
+// later events queued. The clock ends at min(t, last event time).
+func (e *Env) RunUntil(t float64) {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(event)
+		if ev.t > t {
+			heap.Push(&e.events, ev)
+			e.now = t
+			return
+		}
+		if ev.p.dead || ev.gen != ev.p.gen {
+			continue // stale wakeup
+		}
+		e.now = ev.t
+		if e.trace != nil {
+			e.trace(e.now, ev.p.name)
+		}
+		ev.p.gen++
+		ev.p.resume <- struct{}{}
+		<-e.yield
+	}
+}
+
+// Pending reports the number of queued (possibly stale) events.
+func (e *Env) Pending() int { return len(e.events) }
+
+// Live reports the number of live (spawned, not finished) processes.
+func (e *Env) Live() int { return e.nlive }
+
+// block yields control to the kernel and waits to be resumed.
+func (p *Proc) block() {
+	p.env.yield <- struct{}{}
+	<-p.resume
+}
+
+// Sleep suspends the process for d virtual seconds. Negative d is treated
+// as zero (yield to same-time events already queued).
+func (p *Proc) Sleep(d float64) {
+	if d < 0 {
+		d = 0
+	}
+	p.env.schedule(p, p.env.now+d)
+	p.block()
+}
+
+// Yield reschedules the process at the current time, letting other
+// same-time events run first.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// ---------------------------------------------------------------------------
+// Signal: condition-variable style wakeups.
+
+// Signal is a broadcast/signal condition for processes. The zero value is
+// not usable; create with NewSignal.
+type Signal struct {
+	env     *Env
+	waiters []sigWaiter
+}
+
+type sigWaiter struct {
+	p        *Proc
+	gen      int64
+	notified *bool
+}
+
+// NewSignal returns a new Signal bound to env.
+func NewSignal(env *Env) *Signal { return &Signal{env: env} }
+
+// Wait blocks the calling process until Signal or Broadcast is invoked.
+func (s *Signal) Wait(p *Proc) {
+	ok := false
+	s.waiters = append(s.waiters, sigWaiter{p: p, gen: p.gen, notified: &ok})
+	p.block()
+}
+
+// WaitTimeout blocks until the signal fires or d virtual seconds elapse.
+// It reports whether the signal fired (true) or the timeout expired
+// (false).
+func (s *Signal) WaitTimeout(p *Proc, d float64) bool {
+	if d < 0 {
+		d = 0
+	}
+	ok := false
+	s.waiters = append(s.waiters, sigWaiter{p: p, gen: p.gen, notified: &ok})
+	p.env.schedule(p, p.env.now+d) // timeout event, same generation
+	p.block()
+	return ok
+}
+
+// Broadcast wakes all currently waiting processes at the current time.
+func (s *Signal) Broadcast() {
+	for i := range s.waiters {
+		w := &s.waiters[i]
+		if w.p.dead || w.p.gen != w.gen {
+			continue // already woken by timeout or elsewhere
+		}
+		*w.notified = true
+		s.env.schedule(w.p, s.env.now)
+	}
+	s.waiters = s.waiters[:0]
+}
+
+// Signal wakes a single waiting process (FIFO), if any.
+func (s *Signal) Signal() {
+	for len(s.waiters) > 0 {
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		if w.p.dead || w.p.gen != w.gen {
+			continue
+		}
+		*w.notified = true
+		s.env.schedule(w.p, s.env.now)
+		return
+	}
+}
+
+// Waiters reports the number of registered (possibly stale) waiters.
+func (s *Signal) Waiters() int { return len(s.waiters) }
+
+// ---------------------------------------------------------------------------
+// Resource: counting semaphore with FIFO queueing in virtual time.
+
+// Resource models a pool of interchangeable units (e.g. CPU cores) that
+// processes acquire and release. Queueing is strict FIFO: a large request
+// at the head blocks smaller requests behind it, like a conservative
+// backfill-free scheduler.
+type Resource struct {
+	env      *Env
+	capacity int
+	used     int
+	queue    []resWaiter
+	peakUsed int
+	// busyIntegral accumulates used*dt for utilization accounting.
+	busyIntegral float64
+	lastUpdate   float64
+}
+
+type resWaiter struct {
+	p       *Proc
+	n       int
+	granted *bool
+}
+
+// NewResource returns a resource with the given capacity.
+func NewResource(env *Env, capacity int) *Resource {
+	if capacity < 0 {
+		panic(fmt.Sprintf("sim: negative resource capacity %d", capacity))
+	}
+	return &Resource{env: env, capacity: capacity}
+}
+
+// Capacity returns the total capacity.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the number of units currently held.
+func (r *Resource) InUse() int { return r.used }
+
+// Available returns capacity minus in-use units.
+func (r *Resource) Available() int { return r.capacity - r.used }
+
+// PeakInUse returns the maximum concurrently held units observed.
+func (r *Resource) PeakInUse() int { return r.peakUsed }
+
+// QueueLen returns the number of waiting acquisitions.
+func (r *Resource) QueueLen() int { return len(r.queue) }
+
+func (r *Resource) account() {
+	now := r.env.now
+	r.busyIntegral += float64(r.used) * (now - r.lastUpdate)
+	r.lastUpdate = now
+}
+
+// BusyIntegral returns the time integral of units-in-use (unit-seconds)
+// up to the current virtual time.
+func (r *Resource) BusyIntegral() float64 {
+	r.account()
+	return r.busyIntegral
+}
+
+// Acquire blocks the calling process until n units are available and held.
+// Acquiring more than the capacity panics (it would deadlock forever).
+func (r *Resource) Acquire(p *Proc, n int) {
+	if n <= 0 {
+		return
+	}
+	if n > r.capacity {
+		panic(fmt.Sprintf("sim: acquire %d exceeds capacity %d", n, r.capacity))
+	}
+	if len(r.queue) == 0 && r.used+n <= r.capacity {
+		r.take(n)
+		return
+	}
+	granted := false
+	r.queue = append(r.queue, resWaiter{p: p, n: n, granted: &granted})
+	for !granted {
+		p.block()
+	}
+}
+
+// TryAcquire attempts to take n units without blocking and reports success.
+func (r *Resource) TryAcquire(n int) bool {
+	if n <= 0 {
+		return true
+	}
+	if len(r.queue) == 0 && r.used+n <= r.capacity {
+		r.take(n)
+		return true
+	}
+	return false
+}
+
+func (r *Resource) take(n int) {
+	r.account()
+	r.used += n
+	if r.used > r.peakUsed {
+		r.peakUsed = r.used
+	}
+}
+
+// Release returns n units to the pool and grants queued requests in FIFO
+// order while they fit.
+func (r *Resource) Release(n int) {
+	if n <= 0 {
+		return
+	}
+	r.account()
+	r.used -= n
+	if r.used < 0 {
+		panic("sim: resource release below zero")
+	}
+	for len(r.queue) > 0 {
+		w := r.queue[0]
+		if w.p.dead {
+			r.queue = r.queue[1:]
+			continue
+		}
+		if r.used+w.n > r.capacity {
+			break
+		}
+		r.queue = r.queue[1:]
+		r.take(w.n)
+		*w.granted = true
+		r.env.schedule(w.p, r.env.now)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Completion: one-shot latch usable as a future.
+
+// Completion is a one-shot event that processes can wait on; it carries an
+// optional error value. It is the DES analogue of a future/promise.
+type Completion struct {
+	sig  *Signal
+	subs []*Signal
+	done bool
+	err  error
+	at   float64
+}
+
+// NewCompletion returns an unfired completion bound to env.
+func NewCompletion(env *Env) *Completion {
+	return &Completion{sig: NewSignal(env)}
+}
+
+// Done reports whether the completion fired.
+func (c *Completion) Done() bool { return c.done }
+
+// Err returns the error recorded at completion (nil before completion).
+func (c *Completion) Err() error { return c.err }
+
+// At returns the virtual time the completion fired (0 before).
+func (c *Completion) At() float64 { return c.at }
+
+// Complete fires the completion, waking all waiters. Completing twice
+// panics: it indicates a lifecycle bug in the caller.
+func (c *Completion) Complete(err error) {
+	if c.done {
+		panic("sim: Completion fired twice")
+	}
+	c.done = true
+	c.err = err
+	c.at = c.sig.env.now
+	c.sig.Broadcast()
+	for _, s := range c.subs {
+		s.Broadcast()
+	}
+	c.subs = nil
+}
+
+// subscribe registers an additional signal broadcast when the completion
+// fires; used by WaitAnyUntil to watch several completions at once.
+func (c *Completion) subscribe(s *Signal) {
+	if c.done {
+		return
+	}
+	c.subs = append(c.subs, s)
+}
+
+// Await blocks until the completion fires and returns its error.
+func (c *Completion) Await(p *Proc) error {
+	for !c.done {
+		c.sig.Wait(p)
+	}
+	return c.err
+}
+
+// AwaitTimeout blocks until the completion fires or d seconds pass; it
+// reports whether the completion fired.
+func (c *Completion) AwaitTimeout(p *Proc, d float64) bool {
+	if c.done {
+		return true
+	}
+	deadline := c.sig.env.now + d
+	for !c.done {
+		remain := deadline - c.sig.env.now
+		if remain < 0 {
+			return false
+		}
+		if !c.sig.WaitTimeout(p, remain) && !c.done {
+			return false
+		}
+	}
+	return true
+}
+
+// WaitAll blocks until every completion in cs has fired.
+func WaitAll(p *Proc, cs []*Completion) {
+	for _, c := range cs {
+		c.Await(p)
+	}
+}
+
+// WaitAnyUntil blocks until at least one undone completion fires or the
+// absolute deadline passes, and returns the indexes of all completions
+// done at return time. If all are already done it returns immediately.
+func WaitAnyUntil(p *Proc, cs []*Completion, deadline float64) []int {
+	env := p.env
+	doneIdx := func() []int {
+		var idx []int
+		for i, c := range cs {
+			if c.Done() {
+				idx = append(idx, i)
+			}
+		}
+		return idx
+	}
+	pendingExists := func() bool {
+		for _, c := range cs {
+			if !c.Done() {
+				return true
+			}
+		}
+		return false
+	}
+	if !pendingExists() {
+		return doneIdx()
+	}
+	watch := NewSignal(env)
+	for _, c := range cs {
+		if !c.Done() {
+			c.subscribe(watch)
+		}
+	}
+	start := len(doneIdx())
+	for env.now < deadline && pendingExists() {
+		if !watch.WaitTimeout(p, deadline-env.now) {
+			break // timeout
+		}
+		if len(doneIdx()) > start {
+			break
+		}
+	}
+	return doneIdx()
+}

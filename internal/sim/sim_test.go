@@ -1,0 +1,621 @@
+package sim
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	e := NewEnv()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+}
+
+func TestSleepAdvancesClock(t *testing.T) {
+	e := NewEnv()
+	var at float64
+	e.Go("p", func(p *Proc) {
+		p.Sleep(2.5)
+		at = p.Now()
+	})
+	e.Run()
+	if at != 2.5 {
+		t.Fatalf("woke at %v, want 2.5", at)
+	}
+	if e.Now() != 2.5 {
+		t.Fatalf("env clock %v, want 2.5", e.Now())
+	}
+}
+
+func TestNegativeSleepIsZero(t *testing.T) {
+	e := NewEnv()
+	var at float64
+	e.Go("p", func(p *Proc) {
+		p.Sleep(-3)
+		at = p.Now()
+	})
+	e.Run()
+	if at != 0 {
+		t.Fatalf("woke at %v, want 0", at)
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEnv()
+	var order []string
+	e.Go("b", func(p *Proc) {
+		p.Sleep(2)
+		order = append(order, "b")
+	})
+	e.Go("a", func(p *Proc) {
+		p.Sleep(1)
+		order = append(order, "a")
+	})
+	e.Go("c", func(p *Proc) {
+		p.Sleep(3)
+		order = append(order, "c")
+	})
+	e.Run()
+	want := []string{"a", "b", "c"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	// Events at identical times run in scheduling (seq) order.
+	e := NewEnv()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Go("p", func(p *Proc) {
+			p.Sleep(1)
+			order = append(order, i)
+		})
+	}
+	e.Run()
+	if !sort.IntsAreSorted(order) {
+		t.Fatalf("same-time events out of FIFO order: %v", order)
+	}
+}
+
+func TestRunUntilStopsEarly(t *testing.T) {
+	e := NewEnv()
+	hit := 0
+	e.Go("p", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Sleep(1)
+			hit++
+		}
+	})
+	e.RunUntil(4.5)
+	if hit != 4 {
+		t.Fatalf("hit = %d, want 4", hit)
+	}
+	if e.Now() != 4.5 {
+		t.Fatalf("clock = %v, want 4.5", e.Now())
+	}
+	e.Run()
+	if hit != 10 {
+		t.Fatalf("after Run, hit = %d, want 10", hit)
+	}
+}
+
+func TestGoAtStartsLater(t *testing.T) {
+	e := NewEnv()
+	var at float64
+	e.GoAt("late", 7, func(p *Proc) { at = p.Now() })
+	e.Run()
+	if at != 7 {
+		t.Fatalf("started at %v, want 7", at)
+	}
+}
+
+func TestNestedSpawn(t *testing.T) {
+	e := NewEnv()
+	var childAt float64
+	e.Go("parent", func(p *Proc) {
+		p.Sleep(1)
+		p.Env().Go("child", func(c *Proc) {
+			c.Sleep(2)
+			childAt = c.Now()
+		})
+		p.Sleep(10)
+	})
+	e.Run()
+	if childAt != 3 {
+		t.Fatalf("child at %v, want 3", childAt)
+	}
+}
+
+func TestSignalBroadcastWakesAll(t *testing.T) {
+	e := NewEnv()
+	s := NewSignal(e)
+	woke := 0
+	for i := 0; i < 5; i++ {
+		e.Go("w", func(p *Proc) {
+			s.Wait(p)
+			woke++
+		})
+	}
+	e.Go("caster", func(p *Proc) {
+		p.Sleep(3)
+		s.Broadcast()
+	})
+	e.Run()
+	if woke != 5 {
+		t.Fatalf("woke = %d, want 5", woke)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("clock = %v, want 3", e.Now())
+	}
+}
+
+func TestSignalWakesOne(t *testing.T) {
+	e := NewEnv()
+	s := NewSignal(e)
+	var woke []string
+	for _, n := range []string{"a", "b", "c"} {
+		n := n
+		e.Go(n, func(p *Proc) {
+			s.Wait(p)
+			woke = append(woke, n)
+		})
+	}
+	e.Go("caster", func(p *Proc) {
+		p.Sleep(1)
+		s.Signal()
+		p.Sleep(1)
+		s.Signal()
+	})
+	e.Run()
+	if !reflect.DeepEqual(woke, []string{"a", "b"}) {
+		t.Fatalf("woke = %v, want [a b]", woke)
+	}
+	if s.Waiters() != 1 {
+		t.Fatalf("waiters = %d, want 1", s.Waiters())
+	}
+}
+
+func TestWaitTimeoutFires(t *testing.T) {
+	e := NewEnv()
+	s := NewSignal(e)
+	var got bool
+	var at float64
+	e.Go("w", func(p *Proc) {
+		got = s.WaitTimeout(p, 5)
+		at = p.Now()
+	})
+	e.Run()
+	if got {
+		t.Fatal("WaitTimeout returned true, want timeout (false)")
+	}
+	if at != 5 {
+		t.Fatalf("timed out at %v, want 5", at)
+	}
+}
+
+func TestWaitTimeoutSignaledFirst(t *testing.T) {
+	e := NewEnv()
+	s := NewSignal(e)
+	var got bool
+	var at float64
+	e.Go("w", func(p *Proc) {
+		got = s.WaitTimeout(p, 5)
+		at = p.Now()
+	})
+	e.Go("caster", func(p *Proc) {
+		p.Sleep(2)
+		s.Broadcast()
+	})
+	e.Run()
+	if !got {
+		t.Fatal("WaitTimeout returned false, want signal (true)")
+	}
+	if at != 2 {
+		t.Fatalf("woke at %v, want 2", at)
+	}
+	// The stale timeout event must not wake the process again.
+	if e.Now() != 2 {
+		t.Fatalf("final clock %v, want 2 (timeout event dropped)", e.Now())
+	}
+}
+
+func TestStaleTimeoutAfterResleep(t *testing.T) {
+	// A process signaled before its timeout then sleeping again must not
+	// be woken early by the stale timeout event.
+	e := NewEnv()
+	s := NewSignal(e)
+	var at float64
+	e.Go("w", func(p *Proc) {
+		s.WaitTimeout(p, 10)
+		p.Sleep(20)
+		at = p.Now()
+	})
+	e.Go("caster", func(p *Proc) {
+		p.Sleep(1)
+		s.Broadcast()
+	})
+	e.Run()
+	if at != 21 {
+		t.Fatalf("woke at %v, want 21 (stale timeout must be dropped)", at)
+	}
+}
+
+func TestResourceBasicAcquireRelease(t *testing.T) {
+	e := NewEnv()
+	r := NewResource(e, 4)
+	e.Go("p", func(p *Proc) {
+		r.Acquire(p, 3)
+		if r.InUse() != 3 || r.Available() != 1 {
+			t.Errorf("in use %d avail %d, want 3/1", r.InUse(), r.Available())
+		}
+		r.Release(3)
+	})
+	e.Run()
+	if r.InUse() != 0 {
+		t.Fatalf("in use %d after release, want 0", r.InUse())
+	}
+}
+
+func TestResourceContention(t *testing.T) {
+	e := NewEnv()
+	r := NewResource(e, 2)
+	var finish []float64
+	for i := 0; i < 4; i++ {
+		e.Go("job", func(p *Proc) {
+			r.Acquire(p, 1)
+			p.Sleep(10)
+			r.Release(1)
+			finish = append(finish, p.Now())
+		})
+	}
+	e.Run()
+	want := []float64{10, 10, 20, 20}
+	if !reflect.DeepEqual(finish, want) {
+		t.Fatalf("finish times %v, want %v", finish, want)
+	}
+	if r.PeakInUse() != 2 {
+		t.Fatalf("peak %d, want 2", r.PeakInUse())
+	}
+}
+
+func TestResourceFIFOHeadOfLineBlocking(t *testing.T) {
+	// A large request at the head of the queue blocks later small ones.
+	e := NewEnv()
+	r := NewResource(e, 4)
+	var order []string
+	e.Go("holder", func(p *Proc) {
+		r.Acquire(p, 3)
+		p.Sleep(10)
+		r.Release(3)
+	})
+	e.Go("big", func(p *Proc) {
+		p.Sleep(1)
+		r.Acquire(p, 4) // cannot fit until holder releases
+		order = append(order, "big")
+		r.Release(4)
+	})
+	e.Go("small", func(p *Proc) {
+		p.Sleep(2)
+		r.Acquire(p, 1) // would fit now, but queued behind big
+		order = append(order, "small")
+		r.Release(1)
+	})
+	e.Run()
+	if !reflect.DeepEqual(order, []string{"big", "small"}) {
+		t.Fatalf("order %v, want [big small]", order)
+	}
+}
+
+func TestResourceTryAcquire(t *testing.T) {
+	e := NewEnv()
+	r := NewResource(e, 2)
+	if !r.TryAcquire(2) {
+		t.Fatal("TryAcquire(2) on empty pool failed")
+	}
+	if r.TryAcquire(1) {
+		t.Fatal("TryAcquire(1) on full pool succeeded")
+	}
+	r.Release(2)
+	if !r.TryAcquire(1) {
+		t.Fatal("TryAcquire(1) after release failed")
+	}
+}
+
+func TestResourceAcquireBeyondCapacityPanics(t *testing.T) {
+	e := NewEnv()
+	r := NewResource(e, 2)
+	e.Go("p", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("Acquire beyond capacity did not panic")
+			}
+		}()
+		r.Acquire(p, 3)
+	})
+	e.Run()
+}
+
+func TestResourceBusyIntegral(t *testing.T) {
+	e := NewEnv()
+	r := NewResource(e, 4)
+	e.Go("p", func(p *Proc) {
+		r.Acquire(p, 2)
+		p.Sleep(5)
+		r.Release(2)
+		p.Sleep(5)
+	})
+	e.Run()
+	if got := r.BusyIntegral(); got != 10 {
+		t.Fatalf("busy integral %v, want 10 (2 cores x 5 s)", got)
+	}
+}
+
+func TestCompletionAwait(t *testing.T) {
+	e := NewEnv()
+	c := NewCompletion(e)
+	errBoom := errors.New("boom")
+	var got error
+	var at float64
+	e.Go("waiter", func(p *Proc) {
+		got = c.Await(p)
+		at = p.Now()
+	})
+	e.Go("worker", func(p *Proc) {
+		p.Sleep(4)
+		c.Complete(errBoom)
+	})
+	e.Run()
+	if got != errBoom {
+		t.Fatalf("err = %v, want boom", got)
+	}
+	if at != 4 || c.At() != 4 {
+		t.Fatalf("completed at %v/%v, want 4", at, c.At())
+	}
+}
+
+func TestCompletionAwaitAlreadyDone(t *testing.T) {
+	e := NewEnv()
+	c := NewCompletion(e)
+	var at float64
+	e.Go("worker", func(p *Proc) { c.Complete(nil) })
+	e.Go("late", func(p *Proc) {
+		p.Sleep(9)
+		if err := c.Await(p); err != nil {
+			t.Errorf("err = %v, want nil", err)
+		}
+		at = p.Now()
+	})
+	e.Run()
+	if at != 9 {
+		t.Fatalf("await returned at %v, want 9 (no extra blocking)", at)
+	}
+}
+
+func TestCompletionDoubleCompletePanics(t *testing.T) {
+	e := NewEnv()
+	c := NewCompletion(e)
+	e.Go("p", func(p *Proc) {
+		c.Complete(nil)
+		defer func() {
+			if recover() == nil {
+				t.Error("double Complete did not panic")
+			}
+		}()
+		c.Complete(nil)
+	})
+	e.Run()
+}
+
+func TestCompletionAwaitTimeout(t *testing.T) {
+	e := NewEnv()
+	c := NewCompletion(e)
+	var ok bool
+	e.Go("w", func(p *Proc) { ok = c.AwaitTimeout(p, 3) })
+	e.Go("worker", func(p *Proc) {
+		p.Sleep(10)
+		c.Complete(nil)
+	})
+	e.Run()
+	if ok {
+		t.Fatal("AwaitTimeout = true, want false (timeout)")
+	}
+}
+
+func TestWaitAll(t *testing.T) {
+	e := NewEnv()
+	cs := make([]*Completion, 5)
+	for i := range cs {
+		cs[i] = NewCompletion(e)
+		d := float64(5 - i) // reverse completion order
+		c := cs[i]
+		e.Go("worker", func(p *Proc) {
+			p.Sleep(d)
+			c.Complete(nil)
+		})
+	}
+	var at float64
+	e.Go("w", func(p *Proc) {
+		WaitAll(p, cs)
+		at = p.Now()
+	})
+	e.Run()
+	if at != 5 {
+		t.Fatalf("WaitAll returned at %v, want 5", at)
+	}
+}
+
+func TestWaitAnyUntilFirstCompletion(t *testing.T) {
+	e := NewEnv()
+	cs := make([]*Completion, 3)
+	for i := range cs {
+		cs[i] = NewCompletion(e)
+	}
+	for i, d := range []float64{7, 2, 9} {
+		c := cs[i]
+		dd := d
+		e.Go("worker", func(p *Proc) {
+			p.Sleep(dd)
+			c.Complete(nil)
+		})
+	}
+	var got []int
+	var at float64
+	e.Go("w", func(p *Proc) {
+		got = WaitAnyUntil(p, cs, 100)
+		at = p.Now()
+	})
+	e.Run()
+	if !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("done set %v, want [1]", got)
+	}
+	if at != 2 {
+		t.Fatalf("returned at %v, want 2", at)
+	}
+}
+
+func TestWaitAnyUntilDeadline(t *testing.T) {
+	e := NewEnv()
+	c := NewCompletion(e)
+	e.Go("worker", func(p *Proc) {
+		p.Sleep(50)
+		c.Complete(nil)
+	})
+	var got []int
+	var at float64
+	e.Go("w", func(p *Proc) {
+		got = WaitAnyUntil(p, []*Completion{c}, 10)
+		at = p.Now()
+	})
+	e.Run()
+	if len(got) != 0 {
+		t.Fatalf("done set %v, want empty at deadline", got)
+	}
+	if at != 10 {
+		t.Fatalf("returned at %v, want 10", at)
+	}
+}
+
+func TestWaitAnyUntilAllAlreadyDone(t *testing.T) {
+	e := NewEnv()
+	c1, c2 := NewCompletion(e), NewCompletion(e)
+	e.Go("w", func(p *Proc) {
+		c1.Complete(nil)
+		c2.Complete(nil)
+		got := WaitAnyUntil(p, []*Completion{c1, c2}, p.Now()+10)
+		if !reflect.DeepEqual(got, []int{0, 1}) {
+			t.Errorf("done set %v, want [0 1]", got)
+		}
+		if p.Now() != 0 {
+			t.Errorf("blocked until %v, want immediate return", p.Now())
+		}
+	})
+	e.Run()
+}
+
+func TestDeterminism(t *testing.T) {
+	// The same randomized workload replayed twice must produce identical
+	// completion traces.
+	run := func(seed int64) []float64 {
+		e := NewEnv()
+		rng := rand.New(rand.NewSource(seed))
+		r := NewResource(e, 3)
+		var trace []float64
+		for i := 0; i < 50; i++ {
+			d := rng.Float64() * 10
+			s := rng.Float64() * 5
+			e.Go("job", func(p *Proc) {
+				p.Sleep(s)
+				r.Acquire(p, 1)
+				p.Sleep(d)
+				r.Release(1)
+				trace = append(trace, p.Now())
+			})
+		}
+		e.Run()
+		return trace
+	}
+	a, b := run(42), run(42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical seeds produced different traces")
+	}
+}
+
+func TestLiveCount(t *testing.T) {
+	e := NewEnv()
+	e.Go("p", func(p *Proc) { p.Sleep(1) })
+	if e.Live() != 1 {
+		t.Fatalf("live = %d, want 1", e.Live())
+	}
+	e.Run()
+	if e.Live() != 0 {
+		t.Fatalf("live = %d after run, want 0", e.Live())
+	}
+}
+
+// Property: for any set of sleep durations, processes complete in
+// nondecreasing time order equal to the sorted durations.
+func TestPropertySleepOrdering(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 || len(raw) > 64 {
+			return true
+		}
+		e := NewEnv()
+		var finish []float64
+		for _, r := range raw {
+			d := float64(r) / 100
+			e.Go("p", func(p *Proc) {
+				p.Sleep(d)
+				finish = append(finish, p.Now())
+			})
+		}
+		e.Run()
+		if !sort.Float64sAreSorted(finish) {
+			return false
+		}
+		want := make([]float64, len(raw))
+		for i, r := range raw {
+			want[i] = float64(r) / 100
+		}
+		sort.Float64s(want)
+		return reflect.DeepEqual(finish, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: resource accounting never exceeds capacity and ends at zero.
+func TestPropertyResourceNeverOversubscribed(t *testing.T) {
+	f := func(seed int64, capRaw uint8, jobsRaw uint8) bool {
+		capacity := int(capRaw%8) + 1
+		jobs := int(jobsRaw%40) + 1
+		e := NewEnv()
+		r := NewResource(e, capacity)
+		rng := rand.New(rand.NewSource(seed))
+		ok := true
+		for i := 0; i < jobs; i++ {
+			n := rng.Intn(capacity) + 1
+			d := rng.Float64() * 3
+			e.Go("job", func(p *Proc) {
+				r.Acquire(p, n)
+				if r.InUse() > r.Capacity() {
+					ok = false
+				}
+				p.Sleep(d)
+				r.Release(n)
+			})
+		}
+		e.Run()
+		return ok && r.InUse() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

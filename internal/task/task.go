@@ -1,0 +1,151 @@
+// Package task defines the workload abstraction shared by the RepEx core
+// and its runtime backends. It is the Go analogue of RADICAL-Pilot's
+// ComputeUnit description/record split: a Spec says what to run, a Result
+// records when and how it ran, and a Runtime schedules Specs onto
+// resources.
+//
+// Two backends implement Runtime:
+//
+//   - internal/pilot.Runtime — executes tasks in virtual time on a
+//     simulated cluster (used for all performance experiments), and
+//   - internal/localexec.Runtime — executes the task's Run function for
+//     real on local goroutines (used for validation and examples).
+//
+// The RepEx core (internal/core) is written against this interface only,
+// which is precisely the decoupling the paper's design argues for.
+package task
+
+import "fmt"
+
+// Kind classifies a task within a replica-exchange cycle.
+type Kind int
+
+const (
+	// MD is a molecular-dynamics simulation phase task.
+	MD Kind = iota
+	// Exchange is an exchange-phase task (partner determination).
+	Exchange
+	// SinglePoint is a single-point energy evaluation task, used by
+	// salt-concentration exchange where cross-state energies must be
+	// computed by the MD engine itself.
+	SinglePoint
+)
+
+// String returns a short name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case MD:
+		return "md"
+	case Exchange:
+		return "exchange"
+	case SinglePoint:
+		return "spe"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Spec describes one task.
+type Spec struct {
+	Name      string
+	Kind      Kind
+	ReplicaID int
+	// Cores is the number of CPU cores the task occupies (MPI width).
+	Cores int
+	// Duration is the compute time on the reference machine, in
+	// seconds, used by the virtual-time backend. The backend applies
+	// machine speed scaling and jitter.
+	Duration float64
+	// Staging volumes: number of files and total bytes moved before and
+	// after execution through the shared filesystem.
+	InFiles  int
+	InBytes  int64
+	OutFiles int
+	OutBytes int64
+	// Run is the real work for the local backend; ignored by the
+	// virtual backend. May be nil when only simulating.
+	Run func() error
+	// CanFail marks the task as subject to the cluster's fault
+	// injection. MD tasks are typically CanFail; bookkeeping tasks not.
+	CanFail bool
+}
+
+// Validate reports malformed specs.
+func (s *Spec) Validate() error {
+	if s.Cores <= 0 {
+		return fmt.Errorf("task %q: cores must be positive, got %d", s.Name, s.Cores)
+	}
+	if s.Duration < 0 {
+		return fmt.Errorf("task %q: negative duration %g", s.Name, s.Duration)
+	}
+	if s.InFiles < 0 || s.OutFiles < 0 || s.InBytes < 0 || s.OutBytes < 0 {
+		return fmt.Errorf("task %q: negative staging volume", s.Name)
+	}
+	return nil
+}
+
+// Result records one executed task. All times are in the runtime's clock
+// (virtual seconds for the pilot backend, wall seconds for localexec).
+type Result struct {
+	Spec *Spec
+	// Submitted .. Finished bracket the full lifetime.
+	Submitted float64
+	Finished  float64
+	// Component durations (Eq. 1 decomposition inputs):
+	StageIn  float64 // input staging incl. metadata-server queueing
+	CoreWait float64 // waiting for cores (Execution Mode II waves)
+	Launch   float64 // agent launcher queueing + launch latency (T_RP-over)
+	Exec     float64 // compute time (T_MD or T_EX)
+	StageOut float64 // output staging
+	// Err is non-nil if the task failed (fault injection or real error).
+	Err error
+}
+
+// Failed reports whether the task failed.
+func (r Result) Failed() bool { return r.Err != nil }
+
+// Total returns Finished - Submitted.
+func (r Result) Total() float64 { return r.Finished - r.Submitted }
+
+// Handle is a pending task.
+type Handle interface {
+	// Done reports whether the task has finished (successfully or not).
+	Done() bool
+	// Result returns the result; valid only after Done reports true.
+	Result() Result
+}
+
+// Runtime schedules task specs onto resources. All methods must be called
+// from the single orchestrator context that owns the runtime (matching
+// RepEx's single-threaded client-side EMM).
+type Runtime interface {
+	// Now returns the runtime's current time in seconds.
+	Now() float64
+	// Cores returns the number of cores available to the workload.
+	Cores() int
+	// Submit enqueues a task for execution and returns immediately.
+	Submit(s *Spec) Handle
+	// Await blocks until h is done and returns its result.
+	Await(h Handle) Result
+	// AwaitAll blocks until all handles are done.
+	AwaitAll(hs []Handle) []Result
+	// AwaitAnyUntil blocks until at least one not-yet-done handle
+	// completes or the absolute deadline passes; it returns the indexes
+	// of all handles done at return time.
+	AwaitAnyUntil(hs []Handle, deadline float64) []int
+	// Overhead charges d seconds of client-side overhead to the clock
+	// (RepEx task-preparation time; a no-op sleep in wall time).
+	Overhead(d float64)
+	// SleepUntil blocks the orchestrator until the absolute time t
+	// (used by the asynchronous pattern's window dispatcher).
+	SleepUntil(t float64)
+}
+
+// RunAll is a convenience that submits all specs and awaits all results.
+func RunAll(rt Runtime, specs []*Spec) []Result {
+	hs := make([]Handle, len(specs))
+	for i, s := range specs {
+		hs[i] = rt.Submit(s)
+	}
+	return rt.AwaitAll(hs)
+}

@@ -1,0 +1,200 @@
+// Package repex is the public API of the RepEx reproduction: a flexible
+// framework for scalable replica-exchange molecular dynamics simulations
+// (Treikalis et al., ICPP 2016), implemented in pure Go together with
+// every substrate the paper depends on — an MD engine, engine adapters
+// for Amber- and NAMD-style codes, a pilot-job runtime and a
+// discrete-event HPC cluster model.
+//
+// The three concepts of the paper's design surface directly:
+//
+//   - Replica Exchange Patterns: PatternSynchronous and
+//     PatternAsynchronous (Spec.Pattern);
+//   - the pilot-job system: NewVirtualRuntime allocates a pilot on a
+//     simulated machine and runs workloads in virtual time;
+//   - flexible Execution Modes: Mode I/II are derived automatically from
+//     the ratio of pilot cores to replicas.
+//
+// Quick start (real MD, local execution):
+//
+//	spec := &repex.Spec{
+//	    Name:            "t-remd",
+//	    Dims:            []repex.Dimension{{Type: repex.Temperature,
+//	                     Values: repex.GeometricTemperatures(280, 360, 8)}},
+//	    CoresPerReplica: 1, StepsPerCycle: 500, Cycles: 4,
+//	}
+//	report, err := repex.RunLocal(spec, runtime.NumCPU(), 42)
+//
+// See examples/ for complete programs and internal/bench for the
+// harnesses regenerating every table and figure of the paper.
+package repex
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/engines"
+	"repro/internal/exchange"
+	"repro/internal/localexec"
+	"repro/internal/md"
+	"repro/internal/pilot"
+	"repro/internal/sim"
+)
+
+// Version identifies this reproduction release.
+const Version = "1.0.0"
+
+// Core REMD types.
+type (
+	// Spec fully describes an REMD simulation.
+	Spec = core.Spec
+	// Dimension is one exchange dimension (type + window values).
+	Dimension = core.Dimension
+	// Replica is one replica of the simulated system.
+	Replica = core.Replica
+	// Report is the outcome of a run (cycle records, Eq. 1
+	// decomposition, utilization).
+	Report = core.Report
+	// Engine is the MD-engine adapter interface (the AMM layer).
+	Engine = core.Engine
+	// Pattern selects the Replica Exchange Pattern.
+	Pattern = core.Pattern
+	// Mode is the Execution Mode (I or II), derived from resources.
+	Mode = core.Mode
+)
+
+// Exchange dimension types.
+const (
+	// Temperature is T-REMD exchange.
+	Temperature = exchange.Temperature
+	// Umbrella is U-REMD (Hamiltonian) exchange.
+	Umbrella = exchange.Umbrella
+	// Salt is S-REMD (salt concentration) exchange.
+	Salt = exchange.Salt
+)
+
+// Replica Exchange Patterns.
+const (
+	PatternSynchronous  = core.PatternSynchronous
+	PatternAsynchronous = core.PatternAsynchronous
+)
+
+// Fault policies.
+const (
+	FaultDrop     = core.FaultDrop
+	FaultRelaunch = core.FaultRelaunch
+)
+
+// GeometricTemperatures builds the standard T-REMD ladder.
+func GeometricTemperatures(lo, hi float64, n int) []float64 {
+	return core.GeometricTemperatures(lo, hi, n)
+}
+
+// UniformWindows builds n umbrella windows uniformly over [0°, 360°).
+func UniformWindows(n int) []float64 { return core.UniformWindows(n) }
+
+// UmbrellaK002 is the paper's umbrella force constant (0.02
+// kcal/mol/deg²) in internal units.
+var UmbrellaK002 = core.UmbrellaK002
+
+// Machine presets for the virtual cluster.
+var (
+	Stampede = cluster.Stampede
+	SuperMIC = cluster.SuperMIC
+	Small    = cluster.Small
+)
+
+// RunLocal executes the spec with the real Go MD engine (alanine
+// dipeptide model) on local goroutines bounded by workers cores. This is
+// the validation path: trajectories are real and free-energy analysis is
+// meaningful.
+func RunLocal(spec *Spec, workers int, seed int64) (*Report, error) {
+	eng, err := NewDipeptideEngine("amber", seed)
+	if err != nil {
+		return nil, err
+	}
+	return RunLocalWith(spec, eng, workers)
+}
+
+// RunLocalWith executes the spec with a caller-supplied engine on local
+// goroutines.
+func RunLocalWith(spec *Spec, eng Engine, workers int) (*Report, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rt := localexec.New(workers)
+	simu, err := core.New(spec, eng, rt)
+	if err != nil {
+		return nil, err
+	}
+	return simu.Run()
+}
+
+// NewDipeptideEngine builds a real-execution engine adapter around the
+// built-in alanine dipeptide model. Flavor is "amber" or "namd" and
+// selects the input-file dialect generated and parsed per cycle.
+func NewDipeptideEngine(flavor string, seed int64) (*engines.Real, error) {
+	top, st := md.BuildAlanineDipeptide()
+	sys, err := md.NewSystem(top, md.Box{}, 0)
+	if err != nil {
+		return nil, err
+	}
+	md.Minimize(sys, st, md.Params{TemperatureK: 300}, 2000, 1e-3)
+	return engines.NewReal(flavor, sys, st, seed)
+}
+
+// VirtualEngineKind selects a cost-model adapter for virtual runs.
+type VirtualEngineKind string
+
+// Virtual engine kinds.
+const (
+	AmberSander VirtualEngineKind = "amber"       // serial sander
+	AmberPmemd  VirtualEngineKind = "amber-pmemd" // parallel pmemd.MPI
+	NAMD        VirtualEngineKind = "namd"        // NAMD 2.10
+)
+
+// RunVirtual executes the spec in virtual time: a pilot of pilotCores is
+// provisioned on a simulated machine and the workload runs under
+// calibrated cost models. Weeks of supercomputer time complete in
+// milliseconds while preserving queueing, batching (Execution Mode II),
+// overhead and failure behaviour.
+func RunVirtual(spec *Spec, machine cluster.Config, pilotCores int, kind VirtualEngineKind, atoms int, seed int64) (*Report, error) {
+	var newEng func(int64) core.Engine
+	switch kind {
+	case AmberSander:
+		newEng = func(s int64) core.Engine { return engines.NewAmberVirtual(atoms, s) }
+	case AmberPmemd:
+		newEng = func(s int64) core.Engine { return engines.NewPmemdVirtual(atoms, s) }
+	case NAMD:
+		newEng = func(s int64) core.Engine { return engines.NewNAMDVirtual(atoms, s) }
+	default:
+		return nil, fmt.Errorf("repex: unknown virtual engine kind %q", kind)
+	}
+	env := sim.NewEnv()
+	cl, err := cluster.New(env, machine, seed+1)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := pilot.Launch(cl, pilot.Description{Cores: pilotCores, Walltime: 1e12})
+	if err != nil {
+		return nil, err
+	}
+	eng := newEng(seed + 2)
+	var report *core.Report
+	var runErr error
+	env.Go("emm", func(p *sim.Proc) {
+		rt := pilot.NewRuntime(pl, p)
+		simu, err := core.New(spec, eng, rt)
+		if err != nil {
+			runErr = err
+			return
+		}
+		report, runErr = simu.Run()
+	})
+	env.Run()
+	if runErr != nil {
+		return nil, runErr
+	}
+	return report, nil
+}

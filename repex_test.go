@@ -1,0 +1,116 @@
+package repex
+
+import (
+	"testing"
+)
+
+func TestRunLocalTREMD(t *testing.T) {
+	spec := &Spec{
+		Name:            "api-t-remd",
+		Dims:            []Dimension{{Type: Temperature, Values: GeometricTemperatures(280, 340, 4)}},
+		Pattern:         PatternSynchronous,
+		CoresPerReplica: 1,
+		StepsPerCycle:   40,
+		Cycles:          2,
+		Seed:            5,
+	}
+	rep, err := RunLocal(spec, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Replicas != 4 || rep.Engine != "amber-real" {
+		t.Fatalf("report %d replicas engine %q", rep.Replicas, rep.Engine)
+	}
+	if len(rep.Records) != 2 {
+		t.Fatalf("records %d, want 2", len(rep.Records))
+	}
+}
+
+func TestRunLocalWithNAMDFlavor(t *testing.T) {
+	eng, err := NewDipeptideEngine("namd", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &Spec{
+		Name:            "api-namd",
+		Dims:            []Dimension{{Type: Temperature, Values: []float64{290, 310}}},
+		CoresPerReplica: 1,
+		StepsPerCycle:   30,
+		Cycles:          1,
+	}
+	rep, err := RunLocalWith(spec, eng, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Engine != "namd-real" {
+		t.Fatalf("engine %q", rep.Engine)
+	}
+}
+
+func TestNewDipeptideEngineBadFlavor(t *testing.T) {
+	if _, err := NewDipeptideEngine("gromacs", 1); err == nil {
+		t.Fatal("unknown flavor accepted")
+	}
+}
+
+func TestRunVirtualTSU(t *testing.T) {
+	spec := &Spec{
+		Name: "api-tsu",
+		Dims: []Dimension{
+			{Type: Temperature, Values: GeometricTemperatures(273, 373, 3)},
+			{Type: Salt, Values: []float64{0.1, 0.3, 0.9}},
+			{Type: Umbrella, Values: UniformWindows(3), Torsion: "phi", K: UmbrellaK002},
+		},
+		CoresPerReplica: 1,
+		StepsPerCycle:   6000,
+		Cycles:          2,
+		Seed:            9,
+	}
+	rep, err := RunVirtual(spec, SuperMIC(), 27, AmberSander, 2881, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DimCode != "TSU" || rep.Mode.String() != "I" {
+		t.Fatalf("report %s mode %v", rep.DimCode, rep.Mode)
+	}
+	if rep.Makespan() <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+}
+
+func TestRunVirtualModeII(t *testing.T) {
+	spec := &Spec{
+		Name:            "api-mode2",
+		Dims:            []Dimension{{Type: Temperature, Values: GeometricTemperatures(273, 373, 16)}},
+		CoresPerReplica: 1,
+		StepsPerCycle:   6000,
+		Cycles:          1,
+		Seed:            2,
+	}
+	rep, err := RunVirtual(spec, Small(2, 4), 8, AmberSander, 2881, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode.String() != "II" {
+		t.Fatalf("8 cores / 16 replicas: mode %v, want II", rep.Mode)
+	}
+}
+
+func TestRunVirtualUnknownEngine(t *testing.T) {
+	spec := &Spec{
+		Name:            "bad",
+		Dims:            []Dimension{{Type: Temperature, Values: []float64{300, 310}}},
+		CoresPerReplica: 1,
+		StepsPerCycle:   100,
+		Cycles:          1,
+	}
+	if _, err := RunVirtual(spec, SuperMIC(), 2, "gromacs", 100, 1); err == nil {
+		t.Fatal("unknown engine kind accepted")
+	}
+}
+
+func TestVersion(t *testing.T) {
+	if Version == "" {
+		t.Fatal("empty version")
+	}
+}
