@@ -190,6 +190,48 @@ func BenchmarkAblationAsyncWindow(b *testing.B) {
 	}
 }
 
+// BenchmarkDispatcher measures the event-driven dispatcher's cost per MD
+// completion under the three trigger families (barrier, window, count)
+// at 64 and 256 virtual replicas. The whole stack runs in virtual time,
+// so wall time divided by the number of MD completions tracks the
+// orchestrator's per-event overhead across the perf trajectory.
+func BenchmarkDispatcher(b *testing.B) {
+	cases := []struct {
+		name    string
+		trigger func() Trigger
+	}{
+		{"barrier", func() Trigger { return NewBarrierTrigger() }},
+		{"window", func() Trigger { return NewWindowTrigger(100, 0) }},
+		{"count", func() Trigger { return NewCountTrigger(8) }},
+	}
+	for _, replicas := range []int{64, 256} {
+		for _, tc := range cases {
+			b.Run(itoa(replicas)+"/"+tc.name, func(b *testing.B) {
+				completions := 0
+				for i := 0; i < b.N; i++ {
+					spec := ablationSpec(replicas, 2, PatternAsynchronous, 100)
+					spec.Trigger = tc.trigger()
+					cfg := SuperMIC()
+					cfg.ExecJitter = 0.05
+					rep, err := RunVirtual(spec, cfg, replicas, AmberSander, 2881, int64(i+1))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if rep.ExchangeEvents == 0 {
+						b.Fatal("no exchange events fired")
+					}
+					for _, rec := range rep.Records {
+						completions += rec.MD.Tasks
+					}
+				}
+				if completions > 0 {
+					b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(completions), "ns/completion")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkAblationPairing compares nearest-neighbour alternating
 // pairing against random pairing on acceptance probability under the
 // synthetic T-REMD energetics: neighbour pairing accepts far more often

@@ -19,6 +19,10 @@
 //	  "cores_per_replica": 1, "steps_per_cycle": 6000, "cycles": 4
 //	}
 //
+// The optional "trigger" field ("barrier", "window", "count",
+// "adaptive", with "trigger_count" / "async_window_sec" as parameters)
+// selects an exchange-trigger policy beyond the two canonical patterns.
+//
 // and the resource file internal/config.Resource:
 //
 //	{"machine": "supermic", "pilot_cores": 144}

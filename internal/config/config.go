@@ -23,7 +23,15 @@ type Simulation struct {
 	// Dimensions in exchange order, e.g. TSU.
 	Dimensions []Dim `json:"dimensions"`
 	// Pattern: "sync" (default) or "async".
-	Pattern         string  `json:"pattern,omitempty"`
+	Pattern string `json:"pattern,omitempty"`
+	// Trigger optionally selects the exchange-trigger policy directly:
+	// "barrier", "window", "count" or "adaptive". Empty derives it from
+	// Pattern (sync -> barrier, async -> window). "window" and
+	// "adaptive" use async_window_sec (and async_min_ready); "count"
+	// uses trigger_count.
+	Trigger string `json:"trigger,omitempty"`
+	// TriggerCount is the ready-replica threshold of the "count" trigger.
+	TriggerCount    int     `json:"trigger_count,omitempty"`
 	CoresPerReplica int     `json:"cores_per_replica"`
 	StepsPerCycle   int     `json:"steps_per_cycle"`
 	Cycles          int     `json:"cycles"`
@@ -104,6 +112,35 @@ func (s *Simulation) ToSpec() (*core.Spec, error) {
 		spec.Pattern = core.PatternAsynchronous
 	default:
 		return nil, fmt.Errorf("config: unknown pattern %q (want sync or async)", s.Pattern)
+	}
+	switch s.Trigger {
+	case "":
+		// Derived from Pattern.
+	case "barrier":
+		spec.Pattern = core.PatternSynchronous
+		spec.Trigger = core.NewBarrierTrigger()
+	case "window":
+		if s.AsyncWindowSec <= 0 {
+			return nil, fmt.Errorf("config: trigger \"window\" requires a positive async_window_sec")
+		}
+		spec.Pattern = core.PatternAsynchronous
+		spec.Trigger = core.NewWindowTrigger(s.AsyncWindowSec, s.AsyncMinReady)
+	case "count":
+		if s.TriggerCount < 2 {
+			return nil, fmt.Errorf("config: trigger \"count\" requires trigger_count >= 2")
+		}
+		spec.Pattern = core.PatternAsynchronous
+		spec.Trigger = core.NewCountTrigger(s.TriggerCount)
+	case "adaptive":
+		if s.AsyncWindowSec <= 0 {
+			return nil, fmt.Errorf("config: trigger \"adaptive\" requires a positive async_window_sec as the initial window")
+		}
+		spec.Pattern = core.PatternAsynchronous
+		adaptive := core.NewAdaptiveTrigger(s.AsyncWindowSec)
+		adaptive.MinReady = s.AsyncMinReady
+		spec.Trigger = adaptive
+	default:
+		return nil, fmt.Errorf("config: unknown trigger %q (want barrier, window, count or adaptive)", s.Trigger)
 	}
 	switch s.FaultPolicy {
 	case "", "drop":

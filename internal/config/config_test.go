@@ -1,6 +1,7 @@
 package config
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -69,6 +70,45 @@ func TestParseSimulationAsync(t *testing.T) {
 	}
 }
 
+func TestParseSimulationTriggers(t *testing.T) {
+	base := `{"name":"x","dimensions":[{"type":"T","count":4,"min":280,"max":340}],
+	  "cores_per_replica":1,"steps_per_cycle":1000,"cycles":2,`
+	cases := []struct {
+		name string
+		tail string
+		want string
+		sync bool
+	}{
+		{"barrier", `"trigger":"barrier"}`, "*core.BarrierTrigger", true},
+		{"window", `"trigger":"window","async_window_sec":30}`, "*core.WindowTrigger", false},
+		{"count", `"trigger":"count","trigger_count":4}`, "*core.CountTrigger", false},
+		{"adaptive", `"trigger":"adaptive","async_window_sec":30}`, "*core.AdaptiveTrigger", false},
+	}
+	for _, tc := range cases {
+		s, err := ParseSimulation([]byte(base + tc.tail))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		spec, err := s.ToSpec()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if spec.Trigger == nil {
+			t.Fatalf("%s: no trigger selected", tc.name)
+		}
+		if got := fmt.Sprintf("%T", spec.Trigger); got != tc.want {
+			t.Fatalf("%s: trigger type %s, want %s", tc.name, got, tc.want)
+		}
+		wantPattern := core.PatternAsynchronous
+		if tc.sync {
+			wantPattern = core.PatternSynchronous
+		}
+		if spec.Pattern != wantPattern {
+			t.Fatalf("%s: pattern %v", tc.name, spec.Pattern)
+		}
+	}
+}
+
 func TestParseSimulationErrors(t *testing.T) {
 	cases := []string{
 		`{bad json`,
@@ -78,6 +118,10 @@ func TestParseSimulationErrors(t *testing.T) {
 		`{"name":"x","dimensions":[{"type":"T","count":2,"min":300,"max":200}],"cores_per_replica":1,"steps_per_cycle":1,"cycles":1}`,
 		`{"name":"x","dimensions":[{"type":"T","count":2,"min":200,"max":300}],"pattern":"turbo","cores_per_replica":1,"steps_per_cycle":1,"cycles":1}`,
 		`{"name":"x","dimensions":[{"type":"T","count":2,"min":200,"max":300}],"fault_policy":"explode","cores_per_replica":1,"steps_per_cycle":1,"cycles":1}`,
+		`{"name":"x","dimensions":[{"type":"T","count":2,"min":200,"max":300}],"trigger":"psychic","cores_per_replica":1,"steps_per_cycle":1,"cycles":1}`,
+		`{"name":"x","dimensions":[{"type":"T","count":2,"min":200,"max":300}],"trigger":"window","cores_per_replica":1,"steps_per_cycle":1,"cycles":1}`,
+		`{"name":"x","dimensions":[{"type":"T","count":2,"min":200,"max":300}],"trigger":"count","trigger_count":1,"cores_per_replica":1,"steps_per_cycle":1,"cycles":1}`,
+		`{"name":"x","dimensions":[{"type":"T","count":2,"min":200,"max":300}],"trigger":"adaptive","cores_per_replica":1,"steps_per_cycle":1,"cycles":1}`,
 	}
 	for i, c := range cases {
 		if s, err := ParseSimulation([]byte(c)); err == nil {

@@ -1,0 +1,306 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/exchange"
+	"repro/internal/task"
+)
+
+// This file is the event-driven scheduling core: one dispatcher loop,
+// parameterized by a Trigger policy, drives every Replica Exchange
+// Pattern. MD completions stream in through task.Runtime.AwaitNext (O(1)
+// per event); the trigger decides when the ready replicas transition to
+// the exchange phase, and one shared exchangePhase routine performs it.
+
+// mdFlight pairs a replica with its in-flight MD task handle.
+type mdFlight struct {
+	r *Replica
+	h task.Handle
+}
+
+// dispatch runs the simulation to completion under the given trigger
+// policy.
+//
+// Aligned policies (the barrier) reproduce the synchronous pattern
+// exactly: each round is one (cycle, dimension) sub-cycle over all alive
+// replicas, MD results are processed in submission order once the whole
+// batch finished, and the record carries MD wall plus preparation
+// overhead. Non-aligned policies reproduce the asynchronous shape:
+// completions are processed as they arrive, exchanges run over the ready
+// subset, and each record covers one exchange event.
+func (s *Simulation) dispatch(tr Trigger) error {
+	spec := s.spec
+	ndims := len(spec.Dims)
+	aligned := tr.Aligned()
+	// A replica's MD-segment budget: the synchronous pattern runs one
+	// segment per (cycle, dimension) sub-cycle, the asynchronous family
+	// one segment per cycle.
+	segBudget := spec.Cycles
+	if aligned {
+		segBudget *= ndims
+	}
+
+	var (
+		owner   = make(map[task.Handle]*Replica, len(s.replicas))
+		batch   []mdFlight // aligned: this round's flights in submission order
+		ready   []*Replica // non-aligned: processed replicas awaiting exchange
+		readyB  int        // ready replicas with budget left
+		pending int        // outstanding MD tasks
+		done    int        // completed-but-unprocessed tasks (aligned)
+		alive   = s.aliveCount()
+		dim     int // exchange dimension of the current round
+		event   int // exchange events fired so far
+		mdAccum PhaseRecord
+		prep    float64 // MD preparation overhead of the current round
+		roundT0 float64 // round start (before MD preparation)
+		mdStart float64 // first MD submission of the current round
+	)
+
+	// absorb processes one completed MD segment, tracking deaths.
+	absorb := func(r *Replica, res task.Result, phase *PhaseRecord) {
+		s.finishMD(r, res, dim, phase)
+		if !r.Alive {
+			alive--
+		}
+	}
+
+	state := func() TriggerState {
+		st := TriggerState{
+			Now:     s.rt.Now(),
+			Pending: pending,
+			Alive:   alive,
+		}
+		if aligned {
+			st.Ready = done
+		} else {
+			st.Ready = len(ready)
+			st.ReadyBudget = readyB
+		}
+		return st
+	}
+
+	// submit sends one MD segment per replica, charging a single
+	// task-preparation overhead for the whole batch.
+	submit := func(rs []*Replica) {
+		if len(rs) == 0 {
+			return
+		}
+		p := s.engine.PrepOverhead(len(rs), ndims)
+		s.rt.Overhead(p)
+		prep += p
+		mdStart = s.rt.Now()
+		for _, r := range rs {
+			h := s.rt.SubmitWatched(s.engine.MDTask(r, spec, dim))
+			owner[h] = r
+			pending++
+			if aligned {
+				batch = append(batch, mdFlight{r: r, h: h})
+			}
+		}
+	}
+
+	roundT0 = s.rt.Now()
+	submit(s.aliveReplicas())
+	tr.Reset(state())
+
+	// noopFires detects policies that fire without making progress: two
+	// consecutive no-op fires at the same instant cannot change the
+	// trigger's input and would spin forever (e.g. a zero-length window
+	// slipped past validation).
+	noopFires := 0
+	lastFireAt := 0.0
+
+	for pending > 0 || done > 0 || len(ready) > 0 {
+		st := state()
+		switch tr.Decide(st) {
+		case TriggerWait:
+			if pending == 0 {
+				return fmt.Errorf("core: trigger %q stalled with no MD task outstanding", tr.Name())
+			}
+			noopFires = 0
+			for _, h := range s.rt.AwaitNext(tr.Deadline(st)) {
+				r := owner[h]
+				delete(owner, h)
+				pending--
+				res := h.Result()
+				tr.Observe(res)
+				if aligned {
+					// Deferred: the barrier processes the whole batch in
+					// submission order at fire time, matching the
+					// synchronous pattern's post-barrier accounting.
+					done++
+					continue
+				}
+				absorb(r, res, &mdAccum)
+				if r.Alive {
+					ready = append(ready, r)
+					if r.Cycle < segBudget {
+						readyB++
+					}
+				}
+			}
+
+		case TriggerFireAtDeadline:
+			s.rt.SleepUntil(tr.Deadline(st))
+			fallthrough
+		case TriggerFire:
+			fired := aligned || len(ready) >= 2
+			if aligned {
+				// One synchronous sub-cycle: process the batch, exchange
+				// over all alive replicas, snapshot, advance.
+				cycle := event / ndims
+				rec := CycleRecord{Cycle: cycle, Dim: dim, RepExOverhead: prep}
+				prep = 0
+				for _, f := range batch {
+					absorb(f.r, f.h.Result(), &rec.MD)
+				}
+				batch = batch[:0]
+				done = 0
+				rec.MD.Wall = s.rt.Now() - mdStart
+				if !spec.DisableExchange {
+					exStart := s.rt.Now()
+					s.exchangePhase(s.aliveReplicas(), dim, cycle, &rec)
+					rec.EX.Wall = s.rt.Now() - exStart
+				}
+				rec.Wall = s.rt.Now() - roundT0
+				s.report.Records = append(s.report.Records, rec)
+				s.report.ExchangeEvents++
+				s.snapshotSlots()
+				if alive < 2 {
+					return fmt.Errorf("core: fewer than two replicas alive after cycle %d", cycle)
+				}
+				event++
+				dim = event % ndims
+			} else if len(ready) >= 2 {
+				// One asynchronous exchange event over the ready subset
+				// (FIFO over the collection round).
+				rec := CycleRecord{Cycle: event, Dim: dim, MD: mdAccum, RepExOverhead: prep}
+				mdAccum = PhaseRecord{}
+				prep = 0
+				exStart := s.rt.Now()
+				if !spec.DisableExchange {
+					s.exchangePhase(ready, dim, event, &rec)
+				}
+				rec.EX.Wall = s.rt.Now() - exStart
+				rec.Wall = rec.EX.Wall
+				s.report.Records = append(s.report.Records, rec)
+				s.report.ExchangeEvents++
+				s.snapshotSlots()
+				event++
+				dim = event % ndims
+			}
+
+			// Replicas with budget left go back to MD; the rest are done.
+			var next []*Replica
+			if aligned {
+				for _, r := range s.replicas {
+					if r.Alive && r.Cycle < segBudget {
+						next = append(next, r)
+					}
+				}
+			} else {
+				for _, r := range ready {
+					if r.Alive && r.Cycle < segBudget {
+						next = append(next, r)
+					}
+				}
+				ready = ready[:0]
+				readyB = 0
+			}
+			roundT0 = s.rt.Now()
+			submit(next)
+			tr.Reset(state())
+			if fired || len(next) > 0 {
+				noopFires = 0
+			} else {
+				if noopFires > 0 && s.rt.Now() <= lastFireAt {
+					return fmt.Errorf("core: trigger %q fires without progress (livelock)", tr.Name())
+				}
+				noopFires++
+				lastFireAt = s.rt.Now()
+			}
+		}
+	}
+	return nil
+}
+
+// exchangePhase performs one exchange along dimension d among the given
+// participants: the single-point-energy tasks a dimension requires
+// (salt), the exchange-computation task, the Metropolis sweep and the
+// parameter swaps. Exchange groups are the grid lines along d restricted
+// to alive participants; groups with fewer than two members cannot
+// exchange and simply keep simulating. sweep seeds the alternating
+// neighbour pairing.
+func (s *Simulation) exchangePhase(participants []*Replica, d, sweep int, rec *CycleRecord) {
+	inSet := make(map[int]bool, len(participants))
+	for _, r := range participants {
+		if r.Alive {
+			inSet[r.ID] = true
+		}
+	}
+	var groups [][]*Replica
+	for _, g := range s.liveGroups(d) {
+		var sub []*Replica
+		for _, r := range g {
+			if inSet[r.ID] {
+				sub = append(sub, r)
+			}
+		}
+		if len(sub) >= 2 {
+			groups = append(groups, sub)
+		}
+	}
+	if len(groups) == 0 {
+		return
+	}
+
+	// Client-side preparation of exchange tasks.
+	prep := s.engine.PrepOverhead(len(groups), len(s.spec.Dims))
+	s.rt.Overhead(prep)
+	rec.RepExOverhead += prep
+
+	// Single-point energy tasks (salt exchange): one per replica, wide
+	// as its group, doubling the task count — the paper's stated cause
+	// of S-REMD's exchange cost.
+	var speHandles []task.Handle
+	for _, g := range groups {
+		for _, spec := range s.engine.SinglePointTasks(d, g, s.spec) {
+			speHandles = append(speHandles, s.rt.Submit(spec))
+		}
+	}
+	if len(speHandles) > 0 {
+		for _, res := range s.rt.AwaitAll(speHandles) {
+			rec.EX.absorb(res)
+		}
+	}
+
+	// The exchange-computation task itself (partner determination).
+	total := 0
+	for _, g := range groups {
+		total += len(g)
+	}
+	if exSpec := s.engine.ExchangeTask(d, total, s.spec); exSpec != nil {
+		rec.EX.absorb(s.rt.Await(s.rt.Submit(exSpec)))
+	}
+
+	// Metropolis decisions and swaps (client side, negligible cost).
+	for _, g := range groups {
+		ids := make([]int, len(g))
+		for i, r := range g {
+			ids[i] = r.ID
+		}
+		pairs := exchange.NeighborPairs(ids, sweep)
+		probs := make([]float64, len(pairs))
+		for i, pr := range pairs {
+			probs[i] = s.pairProbability(d, s.replicas[pr.I], s.replicas[pr.J])
+		}
+		for _, dec := range exchange.Sweep(pairs, probs, s.rng) {
+			rec.Attempted++
+			if dec.Accepted {
+				rec.Accepted++
+				s.applySwap(s.replicas[dec.I], s.replicas[dec.J])
+			}
+		}
+	}
+}

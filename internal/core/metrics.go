@@ -103,9 +103,12 @@ func (c CycleRecord) AcceptanceRatio() float64 {
 
 // Report is the outcome of a complete REMD simulation run.
 type Report struct {
-	Name     string
-	DimCode  string
-	Pattern  Pattern
+	Name    string
+	DimCode string
+	Pattern Pattern
+	// Trigger names the exchange-trigger policy the run executed under
+	// ("barrier", "window", "count", "adaptive", ...).
+	Trigger  string
 	Mode     Mode
 	Engine   string
 	Replicas int
@@ -124,12 +127,13 @@ type Report struct {
 	Dropped    int
 	Relaunches int
 
-	// SlotHistory records each replica's slot after every sub-cycle
-	// (row = sub-cycle, column = replica ID). It feeds the mixing
-	// diagnostics in internal/stats.
+	// SlotHistory records each replica's slot after every exchange event
+	// (row = event, column = replica ID; one event per sub-cycle under
+	// the barrier trigger). It feeds the mixing diagnostics in
+	// internal/stats.
 	SlotHistory [][]int
 
-	// ExchangeEvents counts exchange phases executed (async pattern).
+	// ExchangeEvents counts exchange phases executed.
 	ExchangeEvents int
 }
 
@@ -252,8 +256,12 @@ func (r *Report) Utilization() float64 {
 // String renders a human-readable summary.
 func (r *Report) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "REMD %s [%s] pattern=%s mode=%s engine=%s\n",
-		r.Name, r.DimCode, r.Pattern, r.Mode, r.Engine)
+	trigger := r.Trigger
+	if trigger == "" {
+		trigger = "?"
+	}
+	fmt.Fprintf(&b, "REMD %s [%s] pattern=%s trigger=%s mode=%s engine=%s\n",
+		r.Name, r.DimCode, r.Pattern, trigger, r.Mode, r.Engine)
 	fmt.Fprintf(&b, "  replicas=%d cores=%d cycles=%d makespan=%.1fs\n",
 		r.Replicas, r.Cores, r.Cycles, r.Makespan())
 	d := r.Decompose()

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
 
@@ -118,71 +117,18 @@ func (s *Simulation) Grid() exchange.Grid { return s.grid }
 // SlotParams returns the fixed parameters of a slot.
 func (s *Simulation) SlotParams(slot int) md.Params { return s.slotParams[slot] }
 
-// Run executes the simulation under the spec's RE pattern and returns
+// Run executes the simulation under the spec's exchange-trigger policy
+// (derived from the RE pattern when none is set explicitly) and returns
 // the report.
 func (s *Simulation) Run() (*Report, error) {
 	s.report.Start = s.rt.Now()
-	var err error
-	switch s.spec.Pattern {
-	case PatternSynchronous:
-		err = s.runSync()
-	case PatternAsynchronous:
-		err = s.runAsync()
-	default:
-		err = fmt.Errorf("core: unknown pattern %d", s.spec.Pattern)
+	tr, err := s.spec.triggerPolicy()
+	if err == nil {
+		s.report.Trigger = tr.Name()
+		err = s.dispatch(tr)
 	}
 	s.report.End = s.rt.Now()
 	return s.report, err
-}
-
-// runSync is the synchronous RE pattern: a global barrier after the MD
-// phase and after the exchange phase of every sub-cycle.
-func (s *Simulation) runSync() error {
-	for cycle := 0; cycle < s.spec.Cycles; cycle++ {
-		for d := range s.spec.Dims {
-			rec, err := s.runSubCycle(cycle, d)
-			if err != nil {
-				return err
-			}
-			s.report.Records = append(s.report.Records, rec)
-			s.snapshotSlots()
-			if s.aliveCount() < 2 {
-				return fmt.Errorf("core: fewer than two replicas alive after cycle %d", cycle)
-			}
-		}
-	}
-	return nil
-}
-
-// runSubCycle executes one MD phase over all alive replicas followed by
-// one exchange phase along dimension d.
-func (s *Simulation) runSubCycle(cycle, d int) (CycleRecord, error) {
-	rec := CycleRecord{Cycle: cycle, Dim: d}
-	t0 := s.rt.Now()
-	alive := s.aliveReplicas()
-
-	// --- MD phase ---
-	s.rt.Overhead(s.engine.PrepOverhead(len(alive), len(s.spec.Dims)))
-	rec.RepExOverhead += s.engine.PrepOverhead(len(alive), len(s.spec.Dims))
-	mdStart := s.rt.Now()
-	handles := make([]task.Handle, len(alive))
-	for i, r := range alive {
-		handles[i] = s.rt.Submit(s.engine.MDTask(r, s.spec, d))
-	}
-	results := s.rt.AwaitAll(handles)
-	for i, res := range results {
-		s.finishMD(alive[i], res, d, &rec.MD)
-	}
-	rec.MD.Wall = s.rt.Now() - mdStart
-
-	// --- Exchange phase ---
-	if !s.spec.DisableExchange {
-		exStart := s.rt.Now()
-		s.runExchangePhase(cycle, d, &rec)
-		rec.EX.Wall = s.rt.Now() - exStart
-	}
-	rec.Wall = s.rt.Now() - t0
-	return rec, nil
 }
 
 // finishMD processes one MD task result: failure policy, cycle count and
@@ -213,61 +159,6 @@ func (s *Simulation) finishMD(r *Replica, res task.Result, dim int, phase *Phase
 	}
 	r.Cycle++
 	r.Energy = s.engine.OwnEnergy(r)
-}
-
-// runExchangePhase performs the exchange along dimension d: single-point
-// energy tasks where required (salt), the exchange-computation task, the
-// Metropolis sweep and the parameter swaps.
-func (s *Simulation) runExchangePhase(cycle, d int, rec *CycleRecord) {
-	groups := s.liveGroups(d)
-	total := s.aliveCount()
-
-	// Client-side preparation of exchange tasks.
-	prep := s.engine.PrepOverhead(len(groups), len(s.spec.Dims))
-	s.rt.Overhead(prep)
-	rec.RepExOverhead += prep
-
-	// Single-point energy tasks (salt exchange): one per replica, wide
-	// as its group, doubling the task count — the paper's stated cause
-	// of S-REMD's exchange cost.
-	var speHandles []task.Handle
-	for _, g := range groups {
-		for _, spec := range s.engine.SinglePointTasks(d, g, s.spec) {
-			speHandles = append(speHandles, s.rt.Submit(spec))
-		}
-	}
-	if len(speHandles) > 0 {
-		for _, res := range s.rt.AwaitAll(speHandles) {
-			rec.EX.absorb(res)
-		}
-	}
-
-	// The exchange-computation task itself (partner determination).
-	exSpec := s.engine.ExchangeTask(d, total, s.spec)
-	if exSpec != nil {
-		res := s.rt.Await(s.rt.Submit(exSpec))
-		rec.EX.absorb(res)
-	}
-
-	// Metropolis decisions and swaps (client side, negligible cost).
-	for _, g := range groups {
-		ids := make([]int, len(g))
-		for i, r := range g {
-			ids[i] = r.ID
-		}
-		pairs := exchange.NeighborPairs(ids, cycle)
-		probs := make([]float64, len(pairs))
-		for i, pr := range pairs {
-			probs[i] = s.pairProbability(d, s.replicas[pr.I], s.replicas[pr.J])
-		}
-		for _, dec := range exchange.Sweep(pairs, probs, s.rng) {
-			rec.Attempted++
-			if dec.Accepted {
-				rec.Accepted++
-				s.applySwap(s.replicas[dec.I], s.replicas[dec.J])
-			}
-		}
-	}
 }
 
 // pairProbability computes the Metropolis acceptance probability for

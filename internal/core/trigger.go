@@ -1,0 +1,326 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/task"
+)
+
+// TriggerState is the dispatcher bookkeeping snapshot handed to trigger
+// policies when they are consulted.
+type TriggerState struct {
+	// Now is the runtime clock.
+	Now float64
+	// Pending counts replicas whose MD segment is still executing.
+	Pending int
+	// Ready counts replicas that have completed their MD segment and
+	// await an exchange.
+	Ready int
+	// ReadyBudget counts the ready replicas that still have MD segments
+	// left after the next exchange (i.e. waiting for a window boundary
+	// is not pointless).
+	ReadyBudget int
+	// Alive counts live replicas.
+	Alive int
+}
+
+// TriggerDecision is a trigger policy's verdict for the current
+// dispatcher state.
+type TriggerDecision int
+
+const (
+	// TriggerWait keeps collecting MD completions.
+	TriggerWait TriggerDecision = iota
+	// TriggerFire runs the exchange step now.
+	TriggerFire
+	// TriggerFireAtDeadline idles the orchestrator until the policy's
+	// deadline (the window boundary) and then runs the exchange step —
+	// the utilization cost of fixed-window asynchronous RE (§4.6).
+	TriggerFireAtDeadline
+)
+
+// Trigger is a pluggable exchange-trigger criterion: the policy deciding
+// *when* replicas transition from the MD phase to the exchange phase.
+// The paper's two Replica Exchange Patterns are the two canonical
+// policies (BarrierTrigger for synchronous, WindowTrigger for
+// asynchronous); CountTrigger and AdaptiveTrigger extend the taxonomy.
+// All policies drive the same event-driven dispatcher loop in
+// Simulation.dispatch.
+type Trigger interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Aligned reports a global-barrier policy: the dispatcher then waits
+	// for the full replica set, processes MD results in submission order
+	// and uses synchronous (cycle, dimension) accounting. Non-aligned
+	// policies exchange among ready subsets with free-running accounting.
+	Aligned() bool
+	// Deadline returns the absolute runtime time until which the
+	// dispatcher may block waiting for completions; +Inf blocks until
+	// the next completion.
+	Deadline(st TriggerState) float64
+	// Decide is consulted whenever the dispatcher state changes (after
+	// completions are absorbed, or after the deadline passes with none).
+	Decide(st TriggerState) TriggerDecision
+	// Observe is invoked for every completed MD segment, letting
+	// adaptive policies track execution-time statistics.
+	Observe(res task.Result)
+	// Reset begins a new collection round; called once when dispatch
+	// starts and again after every exchange step.
+	Reset(st TriggerState)
+}
+
+// ---------------------------------------------------------------------------
+// BarrierTrigger: the synchronous pattern.
+
+// BarrierTrigger fires only when every alive replica has finished its MD
+// segment: the paper's synchronous RE pattern (global barrier after the
+// MD phase and after the exchange phase).
+type BarrierTrigger struct{}
+
+// NewBarrierTrigger returns the synchronous-pattern policy.
+func NewBarrierTrigger() *BarrierTrigger { return &BarrierTrigger{} }
+
+// Name identifies the policy.
+func (t *BarrierTrigger) Name() string { return "barrier" }
+
+// Aligned reports true: the barrier is a phase-aligned policy.
+func (t *BarrierTrigger) Aligned() bool { return true }
+
+// Deadline is +Inf: the barrier always waits for the next completion.
+func (t *BarrierTrigger) Deadline(TriggerState) float64 { return math.Inf(1) }
+
+// Decide fires once no MD segment is outstanding.
+func (t *BarrierTrigger) Decide(st TriggerState) TriggerDecision {
+	if st.Pending == 0 {
+		return TriggerFire
+	}
+	return TriggerWait
+}
+
+// Observe is a no-op.
+func (t *BarrierTrigger) Observe(task.Result) {}
+
+// Reset is a no-op.
+func (t *BarrierTrigger) Reset(TriggerState) {}
+
+// ---------------------------------------------------------------------------
+// WindowTrigger: the asynchronous pattern.
+
+// WindowTrigger fires at fixed real-time window boundaries: the paper's
+// asynchronous RE pattern (§3.2.1, Figure 1b). Replicas that finished
+// their MD segment when the window closes exchange among themselves
+// while the rest keep simulating. A positive MinReady additionally fires
+// as soon as that many replicas are ready, before the boundary.
+type WindowTrigger struct {
+	// Window is the real-time period in runtime seconds.
+	Window float64
+	// MinReady, when positive, triggers an exchange before the window
+	// expires once that many replicas are ready.
+	MinReady int
+
+	windowEnd float64
+}
+
+// NewWindowTrigger returns the asynchronous-pattern policy.
+func NewWindowTrigger(window float64, minReady int) *WindowTrigger {
+	return &WindowTrigger{Window: window, MinReady: minReady}
+}
+
+// Validate rejects parameterizations that cannot make progress.
+func (t *WindowTrigger) Validate() error {
+	if t.Window <= 0 {
+		return fmt.Errorf("window trigger requires a positive window, got %g", t.Window)
+	}
+	return nil
+}
+
+// Name identifies the policy.
+func (t *WindowTrigger) Name() string { return "window" }
+
+// Aligned reports false: windows exchange among ready subsets.
+func (t *WindowTrigger) Aligned() bool { return false }
+
+// Deadline is the current window boundary.
+func (t *WindowTrigger) Deadline(TriggerState) float64 { return t.windowEnd }
+
+// Decide fires at the window boundary, early once MinReady replicas are
+// ready, or immediately when nothing is left to wait for.
+func (t *WindowTrigger) Decide(st TriggerState) TriggerDecision {
+	return windowDecision(st, t.windowEnd, t.MinReady)
+}
+
+// Observe is a no-op.
+func (t *WindowTrigger) Observe(task.Result) {}
+
+// Reset opens the next window.
+func (t *WindowTrigger) Reset(st TriggerState) { t.windowEnd = st.Now + t.Window }
+
+// windowDecision is the fire rule shared by the window-style policies:
+// fire early once minReady replicas are ready, fire at the window
+// boundary, idle to the boundary when every running segment has
+// finished but replicas will resubmit, and flush immediately when
+// nothing is left to wait for.
+func windowDecision(st TriggerState, windowEnd float64, minReady int) TriggerDecision {
+	if minReady > 0 && st.Ready >= minReady && st.Ready >= 2 {
+		return TriggerFire
+	}
+	if st.Now >= windowEnd {
+		return TriggerFire
+	}
+	if st.Pending == 0 {
+		if st.ReadyBudget == 0 {
+			// Final flush: no replica will resubmit, so idling to the
+			// boundary would be pure waste.
+			return TriggerFire
+		}
+		// Pure window criterion: ready replicas idle until the boundary
+		// even though every running MD segment has finished — the
+		// utilization cost of fixed-window asynchronous RE (§4.6).
+		return TriggerFireAtDeadline
+	}
+	return TriggerWait
+}
+
+// ---------------------------------------------------------------------------
+// CountTrigger: exchange as soon as N replicas are ready.
+
+// CountTrigger fires as soon as Count replicas are ready, with no
+// real-time window at all: the "number of replicas" transition criterion
+// from the paper's flexibility argument. Lagging replicas never block
+// the exchange and ready replicas never idle at a boundary.
+type CountTrigger struct {
+	// Count is the ready-replica threshold (values below 2 behave as 2,
+	// the smallest exchangeable subset).
+	Count int
+}
+
+// NewCountTrigger returns a count-criterion policy.
+func NewCountTrigger(count int) *CountTrigger { return &CountTrigger{Count: count} }
+
+// Name identifies the policy.
+func (t *CountTrigger) Name() string { return "count" }
+
+// Aligned reports false: counts exchange among ready subsets.
+func (t *CountTrigger) Aligned() bool { return false }
+
+// Deadline is +Inf: the policy is purely completion-driven.
+func (t *CountTrigger) Deadline(TriggerState) float64 { return math.Inf(1) }
+
+// Decide fires at the threshold, or when no MD segment is outstanding
+// (so the tail of a run always drains).
+func (t *CountTrigger) Decide(st TriggerState) TriggerDecision {
+	n := t.Count
+	if n < 2 {
+		n = 2
+	}
+	if st.Ready >= n {
+		return TriggerFire
+	}
+	if st.Pending == 0 {
+		return TriggerFire
+	}
+	return TriggerWait
+}
+
+// Observe is a no-op.
+func (t *CountTrigger) Observe(task.Result) {}
+
+// Reset is a no-op.
+func (t *CountTrigger) Reset(TriggerState) {}
+
+// ---------------------------------------------------------------------------
+// AdaptiveTrigger: a window that tracks observed MD-time dispersion.
+
+// AdaptiveTrigger is a window trigger whose period adapts to the
+// observed MD execution times: the window is mean + Gain·stddev of the
+// segments seen so far, clamped to [MinWindow, MaxWindow]. Under uniform
+// replica performance the window shrinks towards the mean segment time
+// (fast exchanges, little idling); under heterogeneous or jittery
+// performance it grows so that most replicas make each exchange — the
+// flexible transition criterion the paper argues patterns should expose.
+type AdaptiveTrigger struct {
+	// Initial is the window used until enough segments were observed.
+	Initial float64
+	// Gain is the dispersion multiplier (default 2).
+	Gain float64
+	// MinWindow and MaxWindow clamp the adapted window; they default to
+	// Initial/4 and Initial*4.
+	MinWindow, MaxWindow float64
+	// MinReady, when positive, fires early once that many replicas are
+	// ready (as in WindowTrigger).
+	MinReady int
+
+	// Welford accumulator over observed MD execution times.
+	n        int
+	mean, m2 float64
+
+	windowEnd float64
+}
+
+// NewAdaptiveTrigger returns an adaptive-window policy starting from the
+// given initial window.
+func NewAdaptiveTrigger(initial float64) *AdaptiveTrigger {
+	return &AdaptiveTrigger{Initial: initial}
+}
+
+// Validate rejects parameterizations that cannot make progress.
+func (t *AdaptiveTrigger) Validate() error {
+	if t.Initial <= 0 {
+		return fmt.Errorf("adaptive trigger requires a positive initial window, got %g", t.Initial)
+	}
+	if t.MinWindow < 0 || (t.MaxWindow > 0 && t.MaxWindow < t.MinWindow) {
+		return fmt.Errorf("adaptive trigger window clamp [%g, %g] is invalid", t.MinWindow, t.MaxWindow)
+	}
+	return nil
+}
+
+// Name identifies the policy.
+func (t *AdaptiveTrigger) Name() string { return "adaptive" }
+
+// Aligned reports false: adaptive windows exchange among ready subsets.
+func (t *AdaptiveTrigger) Aligned() bool { return false }
+
+// Deadline is the current (adapted) window boundary.
+func (t *AdaptiveTrigger) Deadline(TriggerState) float64 { return t.windowEnd }
+
+// Decide mirrors WindowTrigger against the adapted boundary.
+func (t *AdaptiveTrigger) Decide(st TriggerState) TriggerDecision {
+	return windowDecision(st, t.windowEnd, t.MinReady)
+}
+
+// Observe folds a completed MD segment's execution time into the
+// dispersion estimate.
+func (t *AdaptiveTrigger) Observe(res task.Result) {
+	if res.Failed() || res.Spec == nil || res.Spec.Kind != task.MD {
+		return
+	}
+	t.n++
+	d := res.Exec - t.mean
+	t.mean += d / float64(t.n)
+	t.m2 += d * (res.Exec - t.mean)
+}
+
+// window returns the current adapted window length.
+func (t *AdaptiveTrigger) window() float64 {
+	lo, hi := t.MinWindow, t.MaxWindow
+	if lo <= 0 {
+		lo = t.Initial / 4
+	}
+	if hi <= 0 {
+		hi = t.Initial * 4
+	}
+	if t.n < 2 {
+		return t.Initial
+	}
+	gain := t.Gain
+	if gain <= 0 {
+		gain = 2
+	}
+	sigma := math.Sqrt(t.m2 / float64(t.n-1))
+	w := t.mean + gain*sigma
+	return math.Min(math.Max(w, lo), hi)
+}
+
+// Reset opens the next window at the adapted length.
+func (t *AdaptiveTrigger) Reset(st TriggerState) { t.windowEnd = st.Now + t.window() }

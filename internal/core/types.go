@@ -1,13 +1,20 @@
 // Package core implements the RepEx framework itself: the paper's primary
 // contribution. It decouples the replica-exchange algorithm from the MD
 // engine (via the Engine interface) and from resource management (via
-// task.Runtime), and provides the two Replica Exchange Patterns
-// (synchronous, asynchronous) and the two Execution Modes (I: cores >=
-// replicas, II: cores < replicas) described in Sections 3.2.1 and 3.2.3.
+// task.Runtime), and makes Replica Exchange Patterns first-class,
+// swappable policies: one event-driven dispatcher parameterized by an
+// exchange-trigger criterion (the Trigger interface). The paper's two
+// patterns are the two canonical policies — BarrierTrigger (synchronous)
+// and WindowTrigger (asynchronous real-time window) — and further
+// criteria (CountTrigger, AdaptiveTrigger) are small policies rather
+// than forks of the core. The two Execution Modes (I: cores >= replicas,
+// II: cores < replicas) of Section 3.2.3 are derived from the ratio of
+// allocated cores to replicas.
 //
 // The module structure mirrors the paper's Section 3.3:
 //
-//   - EMM (execution management): Simulation.RunSync / RunAsync — engine
+//   - EMM (execution management): the event-driven dispatcher loop in
+//     dispatcher.go, parameterized by a Trigger policy — engine
 //     independent, owns synchronization and all runtime calls.
 //   - AMM (application management): the Engine implementations in
 //     internal/engines — engine specific, translate replicas into tasks.
@@ -25,15 +32,20 @@ import (
 	"repro/internal/task"
 )
 
-// Pattern is a Replica Exchange Pattern (paper §3.2.1).
+// Pattern is a Replica Exchange Pattern (paper §3.2.1). A pattern is an
+// alias for a canonical exchange-trigger policy: PatternSynchronous for
+// BarrierTrigger and PatternAsynchronous for WindowTrigger. Further
+// criteria (CountTrigger, AdaptiveTrigger, or user-supplied policies)
+// are selected directly through Spec.Trigger.
 type Pattern int
 
 const (
 	// PatternSynchronous places a global barrier after the MD phase and
-	// after the exchange phase.
+	// after the exchange phase (BarrierTrigger).
 	PatternSynchronous Pattern = iota
 	// PatternAsynchronous has no global barrier: replicas transition to
-	// the exchange phase in subsets based on a real-time window.
+	// the exchange phase in subsets based on a real-time window
+	// (WindowTrigger honouring AsyncWindow and AsyncMinReady).
 	PatternAsynchronous
 )
 
@@ -165,8 +177,31 @@ type Spec struct {
 	// plain MD. Used for the paper's "No exchange" efficiency baseline
 	// (Figure 7).
 	DisableExchange bool
+	// Trigger optionally selects the exchange-trigger policy directly,
+	// overriding the Pattern-derived default. This is how criteria
+	// beyond the two canonical patterns (e.g. CountTrigger,
+	// AdaptiveTrigger) are chosen. Triggers carry per-run state, so a
+	// Trigger instance must not be shared by concurrently running
+	// simulations.
+	Trigger Trigger
 	// Seed drives all stochastic choices of the orchestrator.
 	Seed int64
+}
+
+// triggerPolicy resolves the exchange-trigger policy: Spec.Trigger when
+// set, otherwise the canonical policy of the RE pattern.
+func (s *Spec) triggerPolicy() (Trigger, error) {
+	if s.Trigger != nil {
+		return s.Trigger, nil
+	}
+	switch s.Pattern {
+	case PatternSynchronous:
+		return NewBarrierTrigger(), nil
+	case PatternAsynchronous:
+		return NewWindowTrigger(s.AsyncWindow, s.AsyncMinReady), nil
+	default:
+		return nil, fmt.Errorf("core: unknown pattern %d", s.Pattern)
+	}
 }
 
 // Grid returns the replica grid implied by the dimensions.
@@ -233,8 +268,15 @@ func (s *Spec) Validate() error {
 	if s.StepsPerCycle <= 0 || s.Cycles <= 0 {
 		return fmt.Errorf("spec %q: steps per cycle and cycles must be positive", s.Name)
 	}
-	if s.Pattern == PatternAsynchronous && s.AsyncWindow <= 0 {
+	if s.Pattern == PatternAsynchronous && s.Trigger == nil && s.AsyncWindow <= 0 {
 		return fmt.Errorf("spec %q: asynchronous pattern requires a positive AsyncWindow", s.Name)
+	}
+	// Policies with parameters veto configurations that cannot make
+	// progress (e.g. a zero-length window, which would livelock).
+	if v, ok := s.Trigger.(interface{ Validate() error }); ok {
+		if err := v.Validate(); err != nil {
+			return fmt.Errorf("spec %q: %v", s.Name, err)
+		}
 	}
 	return nil
 }

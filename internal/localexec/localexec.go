@@ -10,6 +10,7 @@ package localexec
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -25,9 +26,13 @@ type Runtime struct {
 	cond  *sync.Cond
 	inUse int
 
-	// notify wakes AwaitAnyUntil waiters on any task completion.
-	notifyMu sync.Mutex
+	// notify wakes the AwaitNext waiter on any task completion.
 	notifyCh chan struct{}
+
+	// stream holds watched completions not yet delivered by AwaitNext,
+	// in completion order.
+	streamMu sync.Mutex
+	stream   []task.Handle
 
 	overhead float64
 }
@@ -93,7 +98,7 @@ func (r *Runtime) release(n int) {
 	r.cond.Broadcast()
 }
 
-// poke wakes any AwaitAnyUntil waiter.
+// poke wakes the AwaitNext waiter.
 func (r *Runtime) poke() {
 	select {
 	case r.notifyCh <- struct{}{}:
@@ -102,7 +107,13 @@ func (r *Runtime) poke() {
 }
 
 // Submit starts the task as soon as cores are available.
-func (r *Runtime) Submit(s *task.Spec) task.Handle {
+func (r *Runtime) Submit(s *task.Spec) task.Handle { return r.submit(s, false) }
+
+// SubmitWatched starts the task and registers it on the completion
+// stream for delivery by AwaitNext.
+func (r *Runtime) SubmitWatched(s *task.Spec) task.Handle { return r.submit(s, true) }
+
+func (r *Runtime) submit(s *task.Spec, watched bool) task.Handle {
 	if err := s.Validate(); err != nil {
 		panic(fmt.Sprintf("localexec: invalid task spec: %v", err))
 	}
@@ -135,6 +146,11 @@ func (r *Runtime) Submit(s *task.Spec) task.Handle {
 			Exec:      execEnd - execStart,
 			Err:       err,
 		})
+		if watched {
+			r.streamMu.Lock()
+			r.stream = append(r.stream, h)
+			r.streamMu.Unlock()
+		}
 		r.poke()
 	}()
 	return h
@@ -156,36 +172,34 @@ func (r *Runtime) AwaitAll(hs []task.Handle) []task.Result {
 	return res
 }
 
-// AwaitAnyUntil blocks until a new completion or the absolute deadline
-// (in runtime seconds) and returns indexes of all done handles.
-func (r *Runtime) AwaitAnyUntil(hs []task.Handle, deadline float64) []int {
-	doneIdx := func() []int {
-		var idx []int
-		for i, h := range hs {
-			if h.Done() {
-				idx = append(idx, i)
-			}
-		}
-		return idx
-	}
-	base := doneIdx()
-	if len(base) == len(hs) {
-		return base
-	}
+// AwaitNext blocks until at least one watched completion is pending
+// delivery or the absolute deadline (in runtime seconds) passes, and
+// drains the stream in completion order.
+func (r *Runtime) AwaitNext(deadline float64) []task.Handle {
 	for {
+		r.streamMu.Lock()
+		if len(r.stream) > 0 {
+			out := r.stream
+			r.stream = nil
+			r.streamMu.Unlock()
+			return out
+		}
+		r.streamMu.Unlock()
+		if math.IsInf(deadline, 1) {
+			<-r.notifyCh
+			continue
+		}
 		remain := deadline - r.Now()
 		if remain <= 0 {
-			return doneIdx()
+			return nil
 		}
 		timer := time.NewTimer(time.Duration(remain * float64(time.Second)))
 		select {
 		case <-r.notifyCh:
 			timer.Stop()
-			if cur := doneIdx(); len(cur) > len(base) {
-				return cur
-			}
 		case <-timer.C:
-			return doneIdx()
+			// Deadline hit: one final drain attempt happens at the top of
+			// the loop before the remain <= 0 return.
 		}
 	}
 }

@@ -89,47 +89,77 @@ func TestAwaitAllOrder(t *testing.T) {
 	}
 }
 
-func TestAwaitAnyUntilCompletion(t *testing.T) {
+func TestAwaitNextDeliversInCompletionOrder(t *testing.T) {
 	rt := New(4)
-	hs := []task.Handle{
-		rt.Submit(&task.Spec{Name: "slow", Cores: 1, Run: func() error {
-			time.Sleep(300 * time.Millisecond)
-			return nil
-		}}),
-		rt.Submit(&task.Spec{Name: "fast", Cores: 1, Run: func() error {
-			time.Sleep(10 * time.Millisecond)
-			return nil
-		}}),
-	}
-	done := rt.AwaitAnyUntil(hs, rt.Now()+2.0)
-	if len(done) == 0 {
-		t.Fatal("AwaitAnyUntil returned empty before deadline")
-	}
-	for _, i := range done {
-		if hs[i].(*handle).Result().Spec.Name == "slow" && len(done) == 1 {
-			t.Fatal("slow task finished before fast")
+	slow := rt.SubmitWatched(&task.Spec{Name: "slow", Cores: 1, Run: func() error {
+		time.Sleep(300 * time.Millisecond)
+		return nil
+	}})
+	fast := rt.SubmitWatched(&task.Spec{Name: "fast", Cores: 1, Run: func() error {
+		time.Sleep(10 * time.Millisecond)
+		return nil
+	}})
+	var got []task.Handle
+	for len(got) < 2 {
+		hs := rt.AwaitNext(rt.Now() + 5.0)
+		if len(hs) == 0 {
+			t.Fatal("AwaitNext timed out with completions outstanding")
 		}
+		got = append(got, hs...)
 	}
-	rt.AwaitAll(hs)
+	if got[0] != fast || got[1] != slow {
+		t.Fatal("completions not delivered fast-first")
+	}
+	if got[0].Result().Spec.Name != "fast" {
+		t.Fatal("wrong result on delivered handle")
+	}
 }
 
-func TestAwaitAnyUntilDeadline(t *testing.T) {
+func TestAwaitNextDeliversExactlyOnce(t *testing.T) {
 	rt := New(4)
-	hs := []task.Handle{
-		rt.Submit(&task.Spec{Name: "slow", Cores: 1, Run: func() error {
-			time.Sleep(200 * time.Millisecond)
-			return nil
-		}}),
+	for i := 0; i < 5; i++ {
+		rt.SubmitWatched(&task.Spec{Name: "w", Cores: 1, Run: func() error { return nil }})
 	}
+	seen := map[task.Handle]bool{}
+	total := 0
+	for total < 5 {
+		for _, h := range rt.AwaitNext(rt.Now() + 5.0) {
+			if seen[h] {
+				t.Fatal("completion delivered twice")
+			}
+			seen[h] = true
+			total++
+		}
+	}
+	if extra := rt.AwaitNext(rt.Now() + 0.02); len(extra) != 0 {
+		t.Fatalf("drained stream delivered %d more handles", len(extra))
+	}
+}
+
+func TestAwaitNextDeadline(t *testing.T) {
+	rt := New(4)
+	h := rt.SubmitWatched(&task.Spec{Name: "slow", Cores: 1, Run: func() error {
+		time.Sleep(200 * time.Millisecond)
+		return nil
+	}})
 	start := time.Now()
-	done := rt.AwaitAnyUntil(hs, rt.Now()+0.05)
+	done := rt.AwaitNext(rt.Now() + 0.05)
 	if len(done) != 0 {
 		t.Fatalf("done set %v, want empty at deadline", done)
 	}
 	if elapsed := time.Since(start); elapsed > 150*time.Millisecond {
 		t.Fatalf("deadline overshoot: %v", elapsed)
 	}
-	rt.AwaitAll(hs)
+	rt.Await(h)
+}
+
+func TestUnwatchedTasksStayOffStream(t *testing.T) {
+	rt := New(4)
+	h := rt.Submit(&task.Spec{Name: "plain", Cores: 1, Run: func() error { return nil }})
+	rt.Await(h)
+	if got := rt.AwaitNext(rt.Now() + 0.02); len(got) != 0 {
+		t.Fatal("plain Submit leaked onto the completion stream")
+	}
 }
 
 func TestDurationEmulationWithoutRun(t *testing.T) {

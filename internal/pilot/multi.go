@@ -20,6 +20,7 @@ import (
 type MultiRuntime struct {
 	pilots []*Pilot
 	proc   *sim.Proc
+	stream *unitStream
 	// OverheadTotal accumulates client-side overhead (T_RepEx-over).
 	OverheadTotal float64
 	// routed counts tasks per pilot, for balance inspection.
@@ -43,6 +44,7 @@ func NewMultiRuntime(proc *sim.Proc, pilots ...*Pilot) (*MultiRuntime, error) {
 	return &MultiRuntime{
 		pilots:        pilots,
 		proc:          proc,
+		stream:        newUnitStream(proc),
 		routed:        make([]int, len(pilots)),
 		assignedCores: make([]int, len(pilots)),
 	}, nil
@@ -106,13 +108,18 @@ func (m *MultiRuntime) AwaitAll(hs []task.Handle) []task.Result {
 	return res
 }
 
-// AwaitAnyUntil blocks until a new completion or the deadline.
-func (m *MultiRuntime) AwaitAnyUntil(hs []task.Handle, deadline float64) []int {
-	cs := make([]*sim.Completion, len(hs))
-	for i, h := range hs {
-		cs[i] = h.(*Unit).completion()
-	}
-	return sim.WaitAnyUntil(m.proc, cs, deadline)
+// SubmitWatched routes the task like Submit and registers it on the
+// completion stream for delivery by AwaitNext.
+func (m *MultiRuntime) SubmitWatched(s *task.Spec) task.Handle {
+	u := m.Submit(s).(*Unit)
+	m.stream.watch(u)
+	return u
+}
+
+// AwaitNext blocks until a watched unit completion is pending delivery
+// or the deadline passes, draining the stream in completion order.
+func (m *MultiRuntime) AwaitNext(deadline float64) []task.Handle {
+	return m.stream.awaitNext(deadline)
 }
 
 // Overhead charges client-side overhead to the virtual clock.

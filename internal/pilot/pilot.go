@@ -21,6 +21,7 @@ package pilot
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/cluster"
 	"repro/internal/sim"
@@ -93,6 +94,10 @@ type Unit struct {
 	state State
 	res   task.Result
 	done  *sim.Completion
+	// onDone, when set, is invoked by the unit's lifecycle process right
+	// after the unit reaches DONE or FAILED; the runtimes use it to feed
+	// their completion streams (one callback per completion: O(1)).
+	onDone func(*Unit)
 }
 
 // Done reports whether the unit reached DONE or FAILED.
@@ -104,8 +109,12 @@ func (u *Unit) Result() task.Result { return u.res }
 // State returns the unit's current lifecycle state.
 func (u *Unit) State() State { return u.state }
 
-// completion exposes the underlying sim completion for waiting helpers.
-func (u *Unit) completion() *sim.Completion { return u.done }
+// notifyDone invokes the completion-stream callback, if any.
+func (u *Unit) notifyDone() {
+	if u.onDone != nil {
+		u.onDone(u)
+	}
+}
 
 // Launch submits a pilot to the cluster's batch queue and returns
 // immediately; the pilot becomes active after the queue wait. An error is
@@ -195,6 +204,7 @@ func (pl *Pilot) runUnit(p *sim.Proc, u *Unit) {
 		u.res.Finished = p.Now()
 		pl.unitsFailed++
 		u.done.Complete(err)
+		u.notifyDone()
 		return
 	}
 
@@ -243,6 +253,7 @@ func (pl *Pilot) runUnit(p *sim.Proc, u *Unit) {
 		u.res.Finished = p.Now()
 		pl.unitsFailed++
 		u.done.Complete(ErrTaskFailed)
+		u.notifyDone()
 		return
 	}
 	t2 := p.Now()
@@ -258,18 +269,65 @@ func (pl *Pilot) runUnit(p *sim.Proc, u *Unit) {
 	u.res.Finished = p.Now()
 	pl.unitsDone++
 	u.done.Complete(nil)
+	u.notifyDone()
 }
 
 // ---------------------------------------------------------------------------
 // Runtime adapter: task.Runtime over a pilot, bound to an orchestrator
 // process.
 
+// unitStream is the completion-stream state shared by the pilot
+// runtimes: completed watched units queue here (in virtual-time
+// completion order) until the orchestrator drains them with AwaitNext.
+type unitStream struct {
+	proc     *sim.Proc
+	arrivals *sim.Signal
+	queue    []*Unit
+}
+
+func newUnitStream(proc *sim.Proc) *unitStream {
+	return &unitStream{proc: proc, arrivals: sim.NewSignal(proc.Env())}
+}
+
+// watch registers a unit for stream delivery on completion.
+func (s *unitStream) watch(u *Unit) {
+	u.onDone = s.enqueue
+}
+
+func (s *unitStream) enqueue(u *Unit) {
+	s.queue = append(s.queue, u)
+	s.arrivals.Broadcast()
+}
+
+// awaitNext blocks the orchestrator until the queue is non-empty or the
+// absolute deadline passes, then drains it.
+func (s *unitStream) awaitNext(deadline float64) []task.Handle {
+	for len(s.queue) == 0 {
+		if math.IsInf(deadline, 1) {
+			s.arrivals.Wait(s.proc)
+			continue
+		}
+		remain := deadline - s.proc.Now()
+		if remain <= 0 {
+			return nil
+		}
+		s.arrivals.WaitTimeout(s.proc, remain)
+	}
+	out := make([]task.Handle, len(s.queue))
+	for i, u := range s.queue {
+		out[i] = u
+	}
+	s.queue = s.queue[:0]
+	return out
+}
+
 // Runtime adapts a Pilot to the task.Runtime interface. All methods must
 // be called from the bound orchestrator process, mirroring RepEx's
 // single-threaded execution-management module.
 type Runtime struct {
-	pl   *Pilot
-	proc *sim.Proc
+	pl     *Pilot
+	proc   *sim.Proc
+	stream *unitStream
 	// OverheadTotal accumulates client-side overhead charged via
 	// Overhead, for reporting T_RepEx-over.
 	OverheadTotal float64
@@ -277,7 +335,7 @@ type Runtime struct {
 
 // NewRuntime binds a pilot to an orchestrator process.
 func NewRuntime(pl *Pilot, proc *sim.Proc) *Runtime {
-	return &Runtime{pl: pl, proc: proc}
+	return &Runtime{pl: pl, proc: proc, stream: newUnitStream(proc)}
 }
 
 // Pilot returns the underlying pilot.
@@ -291,6 +349,14 @@ func (r *Runtime) Cores() int { return r.pl.Cores() }
 
 // Submit schedules a unit.
 func (r *Runtime) Submit(s *task.Spec) task.Handle { return r.pl.SubmitUnit(s) }
+
+// SubmitWatched schedules a unit and registers it on the completion
+// stream for delivery by AwaitNext.
+func (r *Runtime) SubmitWatched(s *task.Spec) task.Handle {
+	u := r.pl.SubmitUnit(s)
+	r.stream.watch(u)
+	return u
+}
 
 // Await blocks the orchestrator until the unit finishes.
 func (r *Runtime) Await(h task.Handle) task.Result {
@@ -308,14 +374,10 @@ func (r *Runtime) AwaitAll(hs []task.Handle) []task.Result {
 	return res
 }
 
-// AwaitAnyUntil blocks until a new unit completes or the deadline passes,
-// returning indexes of all currently done handles.
-func (r *Runtime) AwaitAnyUntil(hs []task.Handle, deadline float64) []int {
-	cs := make([]*sim.Completion, len(hs))
-	for i, h := range hs {
-		cs[i] = h.(*Unit).completion()
-	}
-	return sim.WaitAnyUntil(r.proc, cs, deadline)
+// AwaitNext blocks until a watched unit completion is pending delivery
+// or the deadline passes, draining the stream in completion order.
+func (r *Runtime) AwaitNext(deadline float64) []task.Handle {
+	return r.stream.awaitNext(deadline)
 }
 
 // SleepUntil blocks the orchestrator until virtual time t.

@@ -254,7 +254,7 @@ func TestRuntimeAwaitAll(t *testing.T) {
 	}
 }
 
-func TestRuntimeAwaitAnyUntil(t *testing.T) {
+func TestRuntimeAwaitNext(t *testing.T) {
 	e := sim.NewEnv()
 	cfg := quietConfig()
 	cfg.QueueWait = 0
@@ -262,23 +262,28 @@ func TestRuntimeAwaitAnyUntil(t *testing.T) {
 	cfg.LaunchLatency = 0
 	cl := cluster.MustNew(e, cfg, 1)
 	pl, _ := Launch(cl, Description{Cores: 16})
-	var first []int
-	var timedOut []int
+	var first, timedOut, last []task.Handle
+	var fast, slow task.Handle
 	e.Go("orchestrator", func(p *sim.Proc) {
 		rt := NewRuntime(pl, p)
-		hs := []task.Handle{
-			rt.Submit(&task.Spec{Name: "slow", Cores: 1, Duration: 100}),
-			rt.Submit(&task.Spec{Name: "fast", Cores: 1, Duration: 2}),
-		}
-		first = rt.AwaitAnyUntil(hs, rt.Now()+50)
-		timedOut = rt.AwaitAnyUntil(hs, rt.Now()+10) // slow still running
+		slow = rt.SubmitWatched(&task.Spec{Name: "slow", Cores: 1, Duration: 100})
+		fast = rt.SubmitWatched(&task.Spec{Name: "fast", Cores: 1, Duration: 2})
+		first = rt.AwaitNext(rt.Now() + 50)
+		timedOut = rt.AwaitNext(rt.Now() + 10) // slow still running
+		last = rt.AwaitNext(rt.Now() + 1000)
 	})
 	e.Run()
-	if len(first) != 1 || first[0] != 1 {
-		t.Fatalf("first done set %v, want [1]", first)
+	if len(first) != 1 || first[0] != fast {
+		t.Fatalf("first delivery %v, want the fast unit", first)
 	}
-	if len(timedOut) != 1 {
-		t.Fatalf("after timeout done set %v, want still [fast]", timedOut)
+	if len(timedOut) != 0 {
+		t.Fatalf("delivery before slow completion: %v, want timeout", timedOut)
+	}
+	if len(last) != 1 || last[0] != slow {
+		t.Fatalf("last delivery %v, want the slow unit", last)
+	}
+	if last[0].Result().Spec.Name != "slow" {
+		t.Fatal("wrong result on delivered handle")
 	}
 }
 

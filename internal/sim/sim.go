@@ -394,7 +394,6 @@ func (r *Resource) Release(n int) {
 // optional error value. It is the DES analogue of a future/promise.
 type Completion struct {
 	sig  *Signal
-	subs []*Signal
 	done bool
 	err  error
 	at   float64
@@ -424,19 +423,6 @@ func (c *Completion) Complete(err error) {
 	c.err = err
 	c.at = c.sig.env.now
 	c.sig.Broadcast()
-	for _, s := range c.subs {
-		s.Broadcast()
-	}
-	c.subs = nil
-}
-
-// subscribe registers an additional signal broadcast when the completion
-// fires; used by WaitAnyUntil to watch several completions at once.
-func (c *Completion) subscribe(s *Signal) {
-	if c.done {
-		return
-	}
-	c.subs = append(c.subs, s)
 }
 
 // Await blocks until the completion fires and returns its error.
@@ -471,47 +457,4 @@ func WaitAll(p *Proc, cs []*Completion) {
 	for _, c := range cs {
 		c.Await(p)
 	}
-}
-
-// WaitAnyUntil blocks until at least one undone completion fires or the
-// absolute deadline passes, and returns the indexes of all completions
-// done at return time. If all are already done it returns immediately.
-func WaitAnyUntil(p *Proc, cs []*Completion, deadline float64) []int {
-	env := p.env
-	doneIdx := func() []int {
-		var idx []int
-		for i, c := range cs {
-			if c.Done() {
-				idx = append(idx, i)
-			}
-		}
-		return idx
-	}
-	pendingExists := func() bool {
-		for _, c := range cs {
-			if !c.Done() {
-				return true
-			}
-		}
-		return false
-	}
-	if !pendingExists() {
-		return doneIdx()
-	}
-	watch := NewSignal(env)
-	for _, c := range cs {
-		if !c.Done() {
-			c.subscribe(watch)
-		}
-	}
-	start := len(doneIdx())
-	for env.now < deadline && pendingExists() {
-		if !watch.WaitTimeout(p, deadline-env.now) {
-			break // timeout
-		}
-		if len(doneIdx()) > start {
-			break
-		}
-	}
-	return doneIdx()
 }

@@ -451,74 +451,6 @@ func TestWaitAll(t *testing.T) {
 	}
 }
 
-func TestWaitAnyUntilFirstCompletion(t *testing.T) {
-	e := NewEnv()
-	cs := make([]*Completion, 3)
-	for i := range cs {
-		cs[i] = NewCompletion(e)
-	}
-	for i, d := range []float64{7, 2, 9} {
-		c := cs[i]
-		dd := d
-		e.Go("worker", func(p *Proc) {
-			p.Sleep(dd)
-			c.Complete(nil)
-		})
-	}
-	var got []int
-	var at float64
-	e.Go("w", func(p *Proc) {
-		got = WaitAnyUntil(p, cs, 100)
-		at = p.Now()
-	})
-	e.Run()
-	if !reflect.DeepEqual(got, []int{1}) {
-		t.Fatalf("done set %v, want [1]", got)
-	}
-	if at != 2 {
-		t.Fatalf("returned at %v, want 2", at)
-	}
-}
-
-func TestWaitAnyUntilDeadline(t *testing.T) {
-	e := NewEnv()
-	c := NewCompletion(e)
-	e.Go("worker", func(p *Proc) {
-		p.Sleep(50)
-		c.Complete(nil)
-	})
-	var got []int
-	var at float64
-	e.Go("w", func(p *Proc) {
-		got = WaitAnyUntil(p, []*Completion{c}, 10)
-		at = p.Now()
-	})
-	e.Run()
-	if len(got) != 0 {
-		t.Fatalf("done set %v, want empty at deadline", got)
-	}
-	if at != 10 {
-		t.Fatalf("returned at %v, want 10", at)
-	}
-}
-
-func TestWaitAnyUntilAllAlreadyDone(t *testing.T) {
-	e := NewEnv()
-	c1, c2 := NewCompletion(e), NewCompletion(e)
-	e.Go("w", func(p *Proc) {
-		c1.Complete(nil)
-		c2.Complete(nil)
-		got := WaitAnyUntil(p, []*Completion{c1, c2}, p.Now()+10)
-		if !reflect.DeepEqual(got, []int{0, 1}) {
-			t.Errorf("done set %v, want [0 1]", got)
-		}
-		if p.Now() != 0 {
-			t.Errorf("blocked until %v, want immediate return", p.Now())
-		}
-	})
-	e.Run()
-}
-
 func TestDeterminism(t *testing.T) {
 	// The same randomized workload replayed twice must produce identical
 	// completion traces.

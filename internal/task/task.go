@@ -118,6 +118,13 @@ type Handle interface {
 // Runtime schedules task specs onto resources. All methods must be called
 // from the single orchestrator context that owns the runtime (matching
 // RepEx's single-threaded client-side EMM).
+//
+// The runtime exposes two waiting styles: direct awaits on individual
+// handles (Await, AwaitAll), and a completion stream (SubmitWatched,
+// AwaitNext) that delivers finished tasks incrementally in completion
+// order. The stream is what the event-driven dispatcher in internal/core
+// runs on: each completion is enqueued once and delivered once, so the
+// dispatcher pays O(1) per event instead of rescanning a handle slice.
 type Runtime interface {
 	// Now returns the runtime's current time in seconds.
 	Now() float64
@@ -125,19 +132,26 @@ type Runtime interface {
 	Cores() int
 	// Submit enqueues a task for execution and returns immediately.
 	Submit(s *Spec) Handle
+	// SubmitWatched enqueues a task like Submit and additionally
+	// registers it on the runtime's completion stream: when the task
+	// finishes (successfully or not), its handle is delivered exactly
+	// once by a subsequent AwaitNext call.
+	SubmitWatched(s *Spec) Handle
+	// AwaitNext blocks until at least one watched completion is pending
+	// delivery or the absolute deadline passes, and returns the completed
+	// watched handles in completion order (nil on timeout). A +Inf
+	// deadline waits indefinitely for the next completion; callers must
+	// therefore only pass +Inf while watched tasks are outstanding.
+	AwaitNext(deadline float64) []Handle
 	// Await blocks until h is done and returns its result.
 	Await(h Handle) Result
 	// AwaitAll blocks until all handles are done.
 	AwaitAll(hs []Handle) []Result
-	// AwaitAnyUntil blocks until at least one not-yet-done handle
-	// completes or the absolute deadline passes; it returns the indexes
-	// of all handles done at return time.
-	AwaitAnyUntil(hs []Handle, deadline float64) []int
 	// Overhead charges d seconds of client-side overhead to the clock
 	// (RepEx task-preparation time; a no-op sleep in wall time).
 	Overhead(d float64)
 	// SleepUntil blocks the orchestrator until the absolute time t
-	// (used by the asynchronous pattern's window dispatcher).
+	// (used by window-style exchange triggers to idle to a boundary).
 	SleepUntil(t float64)
 }
 

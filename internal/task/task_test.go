@@ -1,0 +1,87 @@
+package task_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/localexec"
+	"repro/internal/task"
+)
+
+func validSpec() *task.Spec {
+	return &task.Spec{Name: "ok", Kind: task.MD, Cores: 4, Duration: 1.5,
+		InFiles: 2, InBytes: 1 << 10, OutFiles: 1, OutBytes: 1 << 9}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := validSpec().Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*task.Spec)
+	}{
+		{"zero cores", func(s *task.Spec) { s.Cores = 0 }},
+		{"negative cores", func(s *task.Spec) { s.Cores = -2 }},
+		{"negative duration", func(s *task.Spec) { s.Duration = -1 }},
+		{"negative in files", func(s *task.Spec) { s.InFiles = -1 }},
+		{"negative out files", func(s *task.Spec) { s.OutFiles = -1 }},
+		{"negative in bytes", func(s *task.Spec) { s.InBytes = -1 }},
+		{"negative out bytes", func(s *task.Spec) { s.OutBytes = -1 }},
+	}
+	for _, tc := range cases {
+		s := validSpec()
+		tc.mut(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		} else if !strings.Contains(err.Error(), s.Name) {
+			t.Errorf("%s: error %q does not name the task", tc.name, err)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for kind, want := range map[task.Kind]string{
+		task.MD: "md", task.Exchange: "exchange", task.SinglePoint: "spe", task.Kind(9): "kind(9)",
+	} {
+		if got := kind.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(kind), got, want)
+		}
+	}
+}
+
+func TestResultTotalAndFailed(t *testing.T) {
+	r := task.Result{Submitted: 2.5, Finished: 10.0}
+	if r.Total() != 7.5 {
+		t.Fatalf("Total = %v, want 7.5", r.Total())
+	}
+	if r.Failed() {
+		t.Fatal("result without error reported Failed")
+	}
+	r.Err = errors.New("boom")
+	if !r.Failed() {
+		t.Fatal("result with error did not report Failed")
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	rt := localexec.New(2)
+	var specs []*task.Spec
+	for _, name := range []string{"a", "b", "c"} {
+		specs = append(specs, &task.Spec{Name: name, Cores: 1, Run: func() error { return nil }})
+	}
+	specs = append(specs, &task.Spec{Name: "bad", Cores: 1, Run: func() error { return errors.New("boom") }})
+	results := task.RunAll(rt, specs)
+	if len(results) != 4 {
+		t.Fatalf("got %d results, want 4", len(results))
+	}
+	for i, res := range results {
+		if res.Spec != specs[i] {
+			t.Fatalf("result %d out of submission order", i)
+		}
+	}
+	if results[3].Err == nil || results[0].Err != nil {
+		t.Fatal("errors not propagated per task")
+	}
+}

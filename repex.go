@@ -8,7 +8,9 @@
 // The three concepts of the paper's design surface directly:
 //
 //   - Replica Exchange Patterns: PatternSynchronous and
-//     PatternAsynchronous (Spec.Pattern);
+//     PatternAsynchronous (Spec.Pattern), both expressed as pluggable
+//     exchange-trigger policies (Trigger, Spec.Trigger) alongside
+//     CountTrigger and AdaptiveTrigger;
 //   - the pilot-job system: NewVirtualRuntime allocates a pilot on a
 //     simulated machine and runs workloads in virtual time;
 //   - flexible Execution Modes: Mode I/II are derived automatically from
@@ -74,11 +76,50 @@ const (
 	Salt = exchange.Salt
 )
 
-// Replica Exchange Patterns.
+// Replica Exchange Patterns: aliases for the two canonical
+// exchange-trigger policies (barrier and real-time window). Further
+// criteria are selected directly via Spec.Trigger.
 const (
 	PatternSynchronous  = core.PatternSynchronous
 	PatternAsynchronous = core.PatternAsynchronous
 )
+
+// Exchange-trigger policies: the criterion deciding when replicas
+// transition from the MD phase to the exchange phase. All policies run
+// on the same event-driven dispatcher; Spec.Trigger overrides the
+// Pattern-derived default.
+type (
+	// Trigger is the pluggable exchange-trigger policy interface.
+	Trigger = core.Trigger
+	// BarrierTrigger waits for every alive replica (synchronous RE).
+	BarrierTrigger = core.BarrierTrigger
+	// WindowTrigger fires at fixed real-time boundaries (asynchronous RE).
+	WindowTrigger = core.WindowTrigger
+	// CountTrigger fires as soon as N replicas are ready.
+	CountTrigger = core.CountTrigger
+	// AdaptiveTrigger is a window that tracks MD-time dispersion.
+	AdaptiveTrigger = core.AdaptiveTrigger
+)
+
+// NewBarrierTrigger returns the synchronous-pattern policy.
+func NewBarrierTrigger() *BarrierTrigger { return core.NewBarrierTrigger() }
+
+// NewWindowTrigger returns the asynchronous-pattern policy: a fixed
+// real-time window, optionally firing early once minReady replicas are
+// ready.
+func NewWindowTrigger(window float64, minReady int) *WindowTrigger {
+	return core.NewWindowTrigger(window, minReady)
+}
+
+// NewCountTrigger returns a policy that exchanges as soon as count
+// replicas are ready, with no real-time window.
+func NewCountTrigger(count int) *CountTrigger { return core.NewCountTrigger(count) }
+
+// NewAdaptiveTrigger returns a window policy whose period adapts to the
+// observed MD-time dispersion, starting from the given initial window.
+func NewAdaptiveTrigger(initial float64) *AdaptiveTrigger {
+	return core.NewAdaptiveTrigger(initial)
+}
 
 // Fault policies.
 const (
