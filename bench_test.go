@@ -340,7 +340,7 @@ func BenchmarkAblationGPUEngine(b *testing.B) {
 		}
 		env := sim.NewEnv()
 		cl := cluster.MustNew(env, SuperMIC(), 6)
-		pl, err := pilot.Launch(cl, pilot.Description{Cores: 32, Walltime: 1e12})
+		pl, err := pilot.Launch(cl, pilot.Description{Cores: 32})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -25,7 +25,14 @@
 //
 // and the resource file internal/config.Resource:
 //
-//	{"machine": "supermic", "pilot_cores": 144}
+//	{"machine": "supermic", "pilot_cores": 144, "walltime_sec": 3600}
+//
+// A positive "walltime_sec" bounds each pilot's life; expired pilots are
+// replaced transparently (failover) and interrupted MD segments are
+// resubmitted. Checkpoint/restart covers runs longer than any single
+// session: -checkpoint FILE writes a snapshot every -checkpoint-every
+// exchange events, and -resume FILE continues a killed run from its last
+// snapshot.
 package main
 
 import (
@@ -42,18 +49,21 @@ import (
 func main() {
 	simPath := flag.String("sim", "", "simulation JSON file (required)")
 	resPath := flag.String("res", "", "resource JSON file (required)")
+	resumePath := flag.String("resume", "", "snapshot file to resume from")
+	ckptPath := flag.String("checkpoint", "", "snapshot file to write checkpoints to")
+	ckptEvery := flag.Int("checkpoint-every", 1, "exchange events between checkpoints")
 	flag.Parse()
 	if *simPath == "" || *resPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*simPath, *resPath); err != nil {
+	if err := run(*simPath, *resPath, *resumePath, *ckptPath, *ckptEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "repex:", err)
 		os.Exit(1)
 	}
 }
 
-func run(simPath, resPath string) error {
+func run(simPath, resPath, resumePath, ckptPath string, ckptEvery int) error {
 	simData, err := os.ReadFile(simPath)
 	if err != nil {
 		return err
@@ -70,9 +80,41 @@ func run(simPath, resPath string) error {
 	if err != nil {
 		return err
 	}
-	machine, pilotCores, err := config.ParseResource(resData)
+	machine, pilotSpec, err := config.ParseResource(resData)
 	if err != nil {
 		return err
+	}
+	if resumePath != "" {
+		data, err := os.ReadFile(resumePath)
+		if err != nil {
+			return err
+		}
+		snap, err := core.DecodeSnapshot(data)
+		if err != nil {
+			return err
+		}
+		spec.Resume = snap
+		fmt.Printf("resuming %q from snapshot at exchange event %d\n", spec.Name, snap.Events)
+	}
+	if ckptPath != "" {
+		if ckptEvery < 1 {
+			ckptEvery = 1
+		}
+		spec.SnapshotEvery = ckptEvery
+		spec.OnSnapshot = func(sn *core.Snapshot) {
+			data, err := sn.Encode()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "repex: encoding checkpoint:", err)
+				return
+			}
+			tmp := ckptPath + ".tmp"
+			if err := os.WriteFile(tmp, data, 0o644); err == nil {
+				err = os.Rename(tmp, ckptPath)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "repex: writing checkpoint:", err)
+			}
+		}
 	}
 	newEngine := func(seed int64) core.Engine {
 		switch simFile.Engine {
@@ -85,11 +127,12 @@ func run(simPath, resPath string) error {
 		}
 	}
 	report, err := bench.Run(bench.RunParams{
-		Spec:       spec,
-		Cluster:    machine,
-		PilotCores: pilotCores,
-		NewEngine:  newEngine,
-		Seed:       spec.Seed,
+		Spec:          spec,
+		Cluster:       machine,
+		PilotCores:    pilotSpec.Cores,
+		PilotWalltime: pilotSpec.Walltime,
+		NewEngine:     newEngine,
+		Seed:          spec.Seed,
 	})
 	if err != nil {
 		return err

@@ -37,13 +37,13 @@ func run(machines int) *core.Report {
 	env := sim.NewEnv()
 	supermic := cluster.MustNew(env, cluster.SuperMIC(), 1)
 	stampede := cluster.MustNew(env, cluster.Stampede(), 2)
-	plA, err := pilot.Launch(supermic, pilot.Description{Cores: 48, Walltime: 1e9})
+	plA, err := pilot.Launch(supermic, pilot.Description{Cores: 48})
 	if err != nil {
 		log.Fatal(err)
 	}
 	pilots := []*pilot.Pilot{plA}
 	if machines == 2 {
-		plB, err := pilot.Launch(stampede, pilot.Description{Cores: 48, Walltime: 1e9})
+		plB, err := pilot.Launch(stampede, pilot.Description{Cores: 48})
 		if err != nil {
 			log.Fatal(err)
 		}

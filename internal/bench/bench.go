@@ -21,6 +21,11 @@ type RunParams struct {
 	Spec       *core.Spec
 	Cluster    cluster.Config
 	PilotCores int
+	// PilotWalltime bounds each pilot's life in virtual seconds; when a
+	// pilot expires, its units fail, the scheduler resubmits them and
+	// the runtime launches a replacement pilot (failover). Zero or
+	// negative means unbounded.
+	PilotWalltime float64
 	// NewEngine constructs the engine adapter (called once).
 	NewEngine func(seed int64) core.Engine
 	// Seed for cluster jitter and fault draws.
@@ -34,15 +39,16 @@ func Run(p RunParams) (*core.Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	pl, err := pilot.Launch(cl, pilot.Description{Cores: p.PilotCores, Walltime: 1e12})
-	if err != nil {
-		return nil, err
-	}
 	eng := p.NewEngine(p.Seed + 2)
+	desc := pilot.Description{Cores: p.PilotCores, Walltime: p.PilotWalltime}
 	var report *core.Report
 	var runErr error
 	env.Go("emm", func(proc *sim.Proc) {
-		rt := pilot.NewRuntime(pl, proc)
+		rt, err := pilot.NewFailoverRuntime(cl, desc, proc)
+		if err != nil {
+			runErr = err
+			return
+		}
 		simu, err := core.New(p.Spec, eng, rt)
 		if err != nil {
 			runErr = err

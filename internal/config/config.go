@@ -65,10 +65,22 @@ type Resource struct {
 	CoresPerNode int `json:"cores_per_node,omitempty"`
 	// PilotCores is the allocation RepEx requests; it need not match
 	// replicas x cores-per-replica (Execution Mode II otherwise).
-	PilotCores   int     `json:"pilot_cores"`
+	PilotCores int `json:"pilot_cores"`
+	// WalltimeSec bounds each pilot's life: when it expires, executing
+	// units fail, the allocation is released and the runtime launches a
+	// replacement pilot (failover). 0 means unbounded.
+	WalltimeSec  float64 `json:"walltime_sec,omitempty"`
 	QueueWaitSec float64 `json:"queue_wait_sec,omitempty"`
 	FailureProb  float64 `json:"failure_prob,omitempty"`
 	Seed         int64   `json:"seed,omitempty"`
+}
+
+// PilotSpec is the pilot request parsed from a resource file.
+type PilotSpec struct {
+	// Cores is the allocation size.
+	Cores int
+	// Walltime is the pilot walltime bound in seconds (<= 0 unbounded).
+	Walltime float64
 }
 
 // ParseSimulation decodes and validates a simulation file.
@@ -216,11 +228,11 @@ func (d Dim) toDimension() (core.Dimension, error) {
 }
 
 // ParseResource decodes and validates a resource file, returning the
-// machine config and pilot size.
-func ParseResource(data []byte) (cluster.Config, int, error) {
+// machine config and the pilot request (size + walltime).
+func ParseResource(data []byte) (cluster.Config, PilotSpec, error) {
 	var r Resource
 	if err := json.Unmarshal(data, &r); err != nil {
-		return cluster.Config{}, 0, fmt.Errorf("config: %v", err)
+		return cluster.Config{}, PilotSpec{}, fmt.Errorf("config: %v", err)
 	}
 	var cfg cluster.Config
 	switch r.Machine {
@@ -231,11 +243,11 @@ func ParseResource(data []byte) (cluster.Config, int, error) {
 	case "small":
 		n, c := r.Nodes, r.CoresPerNode
 		if n <= 0 || c <= 0 {
-			return cluster.Config{}, 0, fmt.Errorf("config: machine \"small\" needs nodes and cores_per_node")
+			return cluster.Config{}, PilotSpec{}, fmt.Errorf("config: machine \"small\" needs nodes and cores_per_node")
 		}
 		cfg = cluster.Small(n, c)
 	default:
-		return cluster.Config{}, 0, fmt.Errorf("config: unknown machine %q", r.Machine)
+		return cluster.Config{}, PilotSpec{}, fmt.Errorf("config: unknown machine %q", r.Machine)
 	}
 	if r.Nodes > 0 {
 		cfg.Nodes = r.Nodes
@@ -250,10 +262,13 @@ func ParseResource(data []byte) (cluster.Config, int, error) {
 		cfg.FailureProb = r.FailureProb
 	}
 	if r.PilotCores <= 0 {
-		return cluster.Config{}, 0, fmt.Errorf("config: pilot_cores must be positive")
+		return cluster.Config{}, PilotSpec{}, fmt.Errorf("config: pilot_cores must be positive")
+	}
+	if r.WalltimeSec < 0 {
+		return cluster.Config{}, PilotSpec{}, fmt.Errorf("config: walltime_sec must be non-negative")
 	}
 	if err := cfg.Validate(); err != nil {
-		return cluster.Config{}, 0, err
+		return cluster.Config{}, PilotSpec{}, err
 	}
-	return cfg, r.PilotCores, nil
+	return cfg, PilotSpec{Cores: r.PilotCores, Walltime: r.WalltimeSec}, nil
 }

@@ -170,19 +170,25 @@ func TestSaltLadderGenerated(t *testing.T) {
 }
 
 func TestParseResource(t *testing.T) {
-	cfg, cores, err := ParseResource([]byte(`{"machine":"supermic","pilot_cores":512}`))
+	cfg, pilot, err := ParseResource([]byte(`{"machine":"supermic","pilot_cores":512}`))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cfg.Name != "supermic" || cores != 512 {
-		t.Fatalf("parsed %s/%d", cfg.Name, cores)
+	if cfg.Name != "supermic" || pilot.Cores != 512 {
+		t.Fatalf("parsed %s/%d", cfg.Name, pilot.Cores)
 	}
-	cfg2, _, err := ParseResource([]byte(`{"machine":"small","nodes":4,"cores_per_node":16,"pilot_cores":64,"failure_prob":0.05}`))
+	if pilot.Walltime != 0 {
+		t.Fatalf("default walltime %v, want 0 (unbounded)", pilot.Walltime)
+	}
+	cfg2, pilot2, err := ParseResource([]byte(`{"machine":"small","nodes":4,"cores_per_node":16,"pilot_cores":64,"failure_prob":0.05,"walltime_sec":3600}`))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cfg2.TotalCores() != 64 || cfg2.FailureProb != 0.05 {
 		t.Fatalf("small cluster config %+v", cfg2)
+	}
+	if pilot2.Walltime != 3600 {
+		t.Fatalf("walltime %v, want 3600", pilot2.Walltime)
 	}
 }
 
@@ -192,6 +198,7 @@ func TestParseResourceErrors(t *testing.T) {
 		`{"machine":"lumi","pilot_cores":4}`,
 		`{"machine":"small","pilot_cores":4}`,
 		`{"machine":"supermic","pilot_cores":0}`,
+		`{"machine":"supermic","pilot_cores":4,"walltime_sec":-10}`,
 	}
 	for i, c := range cases {
 		if _, _, err := ParseResource([]byte(c)); err == nil {

@@ -34,16 +34,17 @@ func runConfig(t *testing.T, simName, resName string) *core.Report {
 	if err != nil {
 		t.Fatal(err)
 	}
-	machine, cores, err := config.ParseResource(readConfig(t, resName))
+	machine, pl, err := config.ParseResource(readConfig(t, resName))
 	if err != nil {
 		t.Fatal(err)
 	}
 	rep, err := bench.Run(bench.RunParams{
-		Spec:       spec,
-		Cluster:    machine,
-		PilotCores: cores,
-		NewEngine:  func(s int64) core.Engine { return engines.NewAmberVirtual(simFile.Atoms, s) },
-		Seed:       spec.Seed,
+		Spec:          spec,
+		Cluster:       machine,
+		PilotCores:    pl.Cores,
+		PilotWalltime: pl.Walltime,
+		NewEngine:     func(s int64) core.Engine { return engines.NewAmberVirtual(simFile.Atoms, s) },
+		Seed:          spec.Seed,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -19,7 +19,7 @@ func runVirtual(t *testing.T, spec *core.Spec, cfg cluster.Config, cores, natoms
 	t.Helper()
 	env := sim.NewEnv()
 	cl := cluster.MustNew(env, cfg, spec.Seed+1)
-	pl, err := pilot.Launch(cl, pilot.Description{Cores: cores, Walltime: 1e9})
+	pl, err := pilot.Launch(cl, pilot.Description{Cores: cores})
 	if err != nil {
 		t.Fatal(err)
 	}

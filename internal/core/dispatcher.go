@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/exchange"
@@ -12,11 +13,26 @@ import (
 // Pattern. MD completions stream in through task.Runtime.AwaitNext (O(1)
 // per event); the trigger decides when the ready replicas transition to
 // the exchange phase, and one shared exchangePhase routine performs it.
+//
+// Failure handling is event-driven too: a failed MD segment is
+// resubmitted through SubmitWatched as another in-flight event, so a
+// retrying replica never blocks the loop — exchanges keep firing among
+// the healthy replicas while the relaunch runs (the non-blocking fault
+// recovery the paper's production scale requires).
 
-// mdFlight pairs a replica with its in-flight MD task handle.
+// mdFlight is one replica's in-flight MD segment: the task handle, the
+// dimension the segment was submitted for (relaunches must reuse it even
+// if the dispatcher's current dimension has advanced) and the failure
+// accounting of this segment.
 type mdFlight struct {
 	r *Replica
 	h task.Handle
+	// dim is the exchange dimension the segment was submitted under.
+	dim int
+	// infra counts resource-loss resubmissions (pilot walltime expiry)
+	// of this segment; unlike Replica.Retries it is per-segment and does
+	// not consume the replica's fault budget.
+	infra int
 }
 
 // dispatch runs the simulation to completion under the given trigger
@@ -33,6 +49,10 @@ func (s *Simulation) dispatch(tr Trigger) error {
 	spec := s.spec
 	ndims := len(spec.Dims)
 	aligned := tr.Aligned()
+	if s.resumed && spec.Resume.Trigger != "" && spec.Resume.Trigger != tr.Name() {
+		return fmt.Errorf("core: snapshot was taken under trigger %q, resuming under %q",
+			spec.Resume.Trigger, tr.Name())
+	}
 	// A replica's MD-segment budget: the synchronous pattern runs one
 	// segment per (cycle, dimension) sub-cycle, the asynchronous family
 	// one segment per cycle.
@@ -42,24 +62,24 @@ func (s *Simulation) dispatch(tr Trigger) error {
 	}
 
 	var (
-		owner   = make(map[task.Handle]*Replica, len(s.replicas))
-		batch   []mdFlight // aligned: this round's flights in submission order
-		ready   []*Replica // non-aligned: processed replicas awaiting exchange
-		readyB  int        // ready replicas with budget left
-		pending int        // outstanding MD tasks
-		done    int        // completed-but-unprocessed tasks (aligned)
+		owner   = make(map[task.Handle]*mdFlight, len(s.replicas))
+		batch   []*mdFlight // aligned: this round's flights in submission order
+		ready   []*Replica  // non-aligned: processed replicas awaiting exchange
+		readyB  int         // ready replicas with budget left
+		pending int         // outstanding MD tasks
+		done    int         // completed-but-unprocessed tasks (aligned)
 		alive   = s.aliveCount()
-		dim     int // exchange dimension of the current round
-		event   int // exchange events fired so far
-		mdAccum PhaseRecord
-		prep    float64 // MD preparation overhead of the current round
-		roundT0 float64 // round start (before MD preparation)
-		mdStart float64 // first MD submission of the current round
+		event   = s.resumeEvents // exchange events fired so far
+		dim     = s.resumeEvents % ndims
+		mdAccum PhaseRecord // MD results (incl. failed attempts) of the round
+		prep    float64     // MD preparation overhead of the current round
+		roundT0 float64     // round start (before MD preparation)
+		mdStart float64     // first MD submission of the current round
 	)
 
 	// absorb processes one completed MD segment, tracking deaths.
 	absorb := func(r *Replica, res task.Result, phase *PhaseRecord) {
-		s.finishMD(r, res, dim, phase)
+		s.finishMD(r, res, phase)
 		if !r.Alive {
 			alive--
 		}
@@ -91,17 +111,48 @@ func (s *Simulation) dispatch(tr Trigger) error {
 		prep += p
 		mdStart = s.rt.Now()
 		for _, r := range rs {
-			h := s.rt.SubmitWatched(s.engine.MDTask(r, spec, dim))
-			owner[h] = r
+			f := &mdFlight{r: r, dim: dim}
+			f.h = s.rt.SubmitWatched(s.engine.MDTask(r, spec, dim))
+			owner[f.h] = f
 			pending++
 			if aligned {
-				batch = append(batch, mdFlight{r: r, h: h})
+				batch = append(batch, f)
 			}
 		}
 	}
 
+	// relaunch resubmits a failed MD segment as a fresh dispatcher event
+	// and reports whether it did. Replica failures consume the replica's
+	// retry budget under FaultRelaunch; resource-loss failures (pilot
+	// walltime expiry) are resubmitted under either policy against a
+	// separate per-segment cap, since they are the infrastructure's
+	// fault, not the replica's.
+	relaunch := func(f *mdFlight, res task.Result) bool {
+		switch {
+		case errors.Is(res.Err, task.ErrResourceLost):
+			if f.infra >= spec.MaxRetries {
+				return false
+			}
+			f.infra++
+		case spec.FaultPolicy == FaultRelaunch && f.r.Retries < spec.MaxRetries:
+			f.r.Retries++
+		default:
+			return false
+		}
+		s.report.Relaunches++
+		// The failed attempt is charged to the round it happened in.
+		mdAccum.absorb(res)
+		s.report.MDExecCoreSeconds += res.Exec * float64(res.Spec.Cores)
+		h := s.rt.SubmitWatched(s.engine.MDTask(f.r, spec, f.dim))
+		delete(owner, f.h)
+		f.h = h
+		owner[h] = f
+		pending++
+		return true
+	}
+
 	roundT0 = s.rt.Now()
-	submit(s.aliveReplicas())
+	submit(s.budgetedReplicas(segBudget))
 	tr.Reset(state())
 
 	// noopFires detects policies that fire without making progress: two
@@ -120,11 +171,14 @@ func (s *Simulation) dispatch(tr Trigger) error {
 			}
 			noopFires = 0
 			for _, h := range s.rt.AwaitNext(tr.Deadline(st)) {
-				r := owner[h]
+				f := owner[h]
 				delete(owner, h)
 				pending--
 				res := h.Result()
 				tr.Observe(res)
+				if res.Failed() && relaunch(f, res) {
+					continue
+				}
 				if aligned {
 					// Deferred: the barrier processes the whole batch in
 					// submission order at fire time, matching the
@@ -132,10 +186,10 @@ func (s *Simulation) dispatch(tr Trigger) error {
 					done++
 					continue
 				}
-				absorb(r, res, &mdAccum)
-				if r.Alive {
-					ready = append(ready, r)
-					if r.Cycle < segBudget {
+				absorb(f.r, res, &mdAccum)
+				if f.r.Alive {
+					ready = append(ready, f.r)
+					if f.r.Cycle < segBudget {
 						readyB++
 					}
 				}
@@ -150,7 +204,9 @@ func (s *Simulation) dispatch(tr Trigger) error {
 				// One synchronous sub-cycle: process the batch, exchange
 				// over all alive replicas, snapshot, advance.
 				cycle := event / ndims
-				rec := CycleRecord{Cycle: cycle, Dim: dim, RepExOverhead: prep}
+				rec := CycleRecord{Cycle: cycle, Dim: dim, At: s.rt.Now(),
+					MD: mdAccum, RepExOverhead: prep}
+				mdAccum = PhaseRecord{}
 				prep = 0
 				for _, f := range batch {
 					absorb(f.r, f.h.Result(), &rec.MD)
@@ -174,8 +230,11 @@ func (s *Simulation) dispatch(tr Trigger) error {
 				dim = event % ndims
 			} else if len(ready) >= 2 {
 				// One asynchronous exchange event over the ready subset
-				// (FIFO over the collection round).
-				rec := CycleRecord{Cycle: event, Dim: dim, MD: mdAccum, RepExOverhead: prep}
+				// (FIFO over the collection round). The round's MD wall is
+				// the collection span: fire time minus round start.
+				rec := CycleRecord{Cycle: event, Dim: dim, At: s.rt.Now(),
+					MD: mdAccum, RepExOverhead: prep}
+				rec.MD.Wall = s.rt.Now() - roundT0
 				mdAccum = PhaseRecord{}
 				prep = 0
 				exStart := s.rt.Now()
@@ -189,6 +248,9 @@ func (s *Simulation) dispatch(tr Trigger) error {
 				s.snapshotSlots()
 				event++
 				dim = event % ndims
+			}
+			if fired {
+				s.maybeSnapshot(tr, event)
 			}
 
 			// Replicas with budget left go back to MD; the rest are done.
@@ -208,7 +270,12 @@ func (s *Simulation) dispatch(tr Trigger) error {
 				ready = ready[:0]
 				readyB = 0
 			}
-			roundT0 = s.rt.Now()
+			// A new collection round starts only when an exchange event
+			// actually fired; after a no-op fire (async, <2 ready) the
+			// round — and its MD wall span — continues accumulating.
+			if fired {
+				roundT0 = s.rt.Now()
+			}
 			submit(next)
 			tr.Reset(state())
 			if fired || len(next) > 0 {
@@ -295,6 +362,7 @@ func (s *Simulation) exchangePhase(participants []*Replica, d, sweep int, rec *C
 		for i, pr := range pairs {
 			probs[i] = s.pairProbability(d, s.replicas[pr.I], s.replicas[pr.J])
 		}
+		s.rngDraws += int64(len(pairs)) // Sweep draws one uniform per pair
 		for _, dec := range exchange.Sweep(pairs, probs, s.rng) {
 			rec.Attempted++
 			if dec.Accepted {

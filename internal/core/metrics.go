@@ -57,8 +57,12 @@ type CycleRecord struct {
 	Cycle int
 	// Dim is the exchange dimension of this sub-cycle.
 	Dim int
-	MD  PhaseRecord
-	EX  PhaseRecord
+	// At is the runtime time the exchange event fired, letting tests and
+	// diagnostics order exchange events against other runtime activity
+	// (e.g. proving an event fired while a relaunch was still in flight).
+	At float64
+	MD PhaseRecord
+	EX PhaseRecord
 	// RepExOverhead is the client-side task-preparation time charged
 	// this sub-cycle: T_RepEx-over.
 	RepExOverhead float64

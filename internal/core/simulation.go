@@ -21,7 +21,22 @@ type Simulation struct {
 	replicas   []*Replica
 	replicaAt  []int // slot -> replica ID
 	slotParams []md.Params
+	// slotGroups caches grid.GroupsAlong per dimension: the grouping is a
+	// pure function of the grid shape, so recomputing it on every
+	// exchange event (hot for asynchronous triggers) would be waste.
+	slotGroups [][][]int
 	rng        *rand.Rand
+	// rngDraws counts uniforms consumed from rng, so a Snapshot can
+	// restore the exact RNG state by replaying the draw count.
+	rngDraws int64
+
+	// resumeEvents is the exchange-event counter restored from
+	// Spec.Resume (0 for a fresh run); resumeElapsed is the virtual run
+	// time consumed before the snapshot, and resumed marks a restored
+	// run.
+	resumeEvents  int
+	resumeElapsed float64
+	resumed       bool
 
 	report *Report
 }
@@ -50,6 +65,10 @@ func New(spec *Spec, engine Engine, rt task.Runtime) (*Simulation, error) {
 	for slot := 0; slot < n; slot++ {
 		s.slotParams[slot] = s.paramsForSlot(slot)
 	}
+	s.slotGroups = make([][][]int, len(spec.Dims))
+	for d := range spec.Dims {
+		s.slotGroups[d] = grid.GroupsAlong(d)
+	}
 	for i := 0; i < n; i++ {
 		r := &Replica{
 			ID:     i,
@@ -74,6 +93,11 @@ func New(spec *Spec, engine Engine, rt task.Runtime) (*Simulation, error) {
 		Replicas: n,
 		Cores:    rt.Cores(),
 		Cycles:   spec.Cycles,
+	}
+	if spec.Resume != nil {
+		if err := s.applySnapshot(spec.Resume); err != nil {
+			return nil, err
+		}
 	}
 	return s, nil
 }
@@ -121,7 +145,10 @@ func (s *Simulation) SlotParams(slot int) md.Params { return s.slotParams[slot] 
 // (derived from the RE pattern when none is set explicitly) and returns
 // the report.
 func (s *Simulation) Run() (*Report, error) {
-	s.report.Start = s.rt.Now()
+	// A resumed run back-dates its start by the snapshot's elapsed time,
+	// keeping Makespan and Utilization cumulative over the whole
+	// simulation rather than just the post-resume segment.
+	s.report.Start = s.rt.Now() - s.resumeElapsed
 	tr, err := s.spec.triggerPolicy()
 	if err == nil {
 		s.report.Trigger = tr.Name()
@@ -131,31 +158,18 @@ func (s *Simulation) Run() (*Report, error) {
 	return s.report, err
 }
 
-// finishMD processes one MD task result: failure policy, cycle count and
-// energy refresh.
-func (s *Simulation) finishMD(r *Replica, res task.Result, dim int, phase *PhaseRecord) {
+// finishMD processes one final MD task result: cycle count and energy
+// refresh, or replica death. Relaunchable failures never reach this
+// point — the dispatcher resubmits them as fresh events (see dispatch),
+// so a result that arrives here failed has exhausted its retry budget
+// (or runs under FaultDrop) and removes the replica.
+func (s *Simulation) finishMD(r *Replica, res task.Result, phase *PhaseRecord) {
 	phase.absorb(res)
 	s.report.MDExecCoreSeconds += res.Exec * float64(res.Spec.Cores)
 	if res.Failed() {
-		switch s.spec.FaultPolicy {
-		case FaultRelaunch:
-			for res.Failed() && r.Retries < s.spec.MaxRetries {
-				r.Retries++
-				s.report.Relaunches++
-				res = s.rt.Await(s.rt.Submit(s.engine.MDTask(r, s.spec, dim)))
-				phase.absorb(res)
-				s.report.MDExecCoreSeconds += res.Exec * float64(res.Spec.Cores)
-			}
-			if res.Failed() {
-				r.Alive = false
-				s.report.Dropped++
-				return
-			}
-		default: // FaultDrop
-			r.Alive = false
-			s.report.Dropped++
-			return
-		}
+		r.Alive = false
+		s.report.Dropped++
+		return
 	}
 	r.Cycle++
 	r.Energy = s.engine.OwnEnergy(r)
@@ -224,6 +238,19 @@ func (s *Simulation) aliveReplicas() []*Replica {
 	return out
 }
 
+// budgetedReplicas returns the live replicas that still have MD segments
+// left, in ID order. On a fresh run this equals aliveReplicas; after a
+// resume, replicas restored at their full segment budget are excluded.
+func (s *Simulation) budgetedReplicas(segBudget int) []*Replica {
+	var out []*Replica
+	for _, r := range s.replicas {
+		if r.Alive && r.Cycle < segBudget {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
 func (s *Simulation) aliveCount() int {
 	n := 0
 	for _, r := range s.replicas {
@@ -237,8 +264,9 @@ func (s *Simulation) aliveCount() int {
 // liveGroups returns, for dimension d, the exchange groups as slices of
 // live replicas ordered by their coordinate along d. Dead replicas are
 // skipped, which is what lets the simulation continue across failures.
+// The slot grouping comes from the per-dimension cache built in New.
 func (s *Simulation) liveGroups(d int) [][]*Replica {
-	slotGroups := s.grid.GroupsAlong(d)
+	slotGroups := s.slotGroups[d]
 	out := make([][]*Replica, 0, len(slotGroups))
 	for _, slots := range slotGroups {
 		var g []*Replica

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+)
+
+// Snapshot is a serializable checkpoint of a running simulation, taken
+// after an exchange event. Together with the original Spec (same
+// dimensions, seed and trigger) it restores the run exactly: replica
+// slots, completed cycles, energies and synthetic coordinates, the
+// orchestrator's RNG position, and the report counters accumulated so
+// far. Runs longer than one pilot walltime chain through snapshots:
+// kill, resume, repeat.
+//
+// RNG state is stored as a draw count and restored by replaying that
+// many draws from the spec seed, which keeps the snapshot format
+// independent of math/rand's internal state while remaining exact.
+type Snapshot struct {
+	// Version is the snapshot format version.
+	Version int `json:"version"`
+	// Name echoes Spec.Name for sanity checks.
+	Name string `json:"name"`
+	// Trigger names the exchange-trigger policy the run executed under;
+	// resuming under a different policy is rejected.
+	Trigger string `json:"trigger"`
+	// Events is the number of exchange events fired before the snapshot.
+	Events int `json:"events"`
+	// Elapsed is the virtual run time consumed before the snapshot
+	// (capture time minus run start); resumed reports offset their start
+	// by it so Makespan and Utilization stay cumulative.
+	Elapsed float64 `json:"elapsed"`
+	// RNGDraws is the orchestrator RNG position (uniforms consumed).
+	RNGDraws int64 `json:"rng_draws"`
+	// EngineDraws is the engine RNG position for ReplayableEngine
+	// implementations; -1 when the engine does not support replay.
+	EngineDraws int64 `json:"engine_draws"`
+	// Replicas holds the per-replica state in ID order.
+	Replicas []ReplicaState `json:"replicas"`
+	// SlotHistory is the slot assignment after each exchange event so
+	// far, so a resumed run's report carries the full history.
+	SlotHistory [][]int `json:"slot_history"`
+	// Report counters accumulated before the snapshot.
+	Dropped           int     `json:"dropped"`
+	Relaunches        int     `json:"relaunches"`
+	MDExecCoreSeconds float64 `json:"md_exec_core_seconds"`
+}
+
+// ReplicaState is the serializable state of one replica.
+type ReplicaState struct {
+	ID      int       `json:"id"`
+	Slot    int       `json:"slot"`
+	Cycle   int       `json:"cycle"`
+	Energy  float64   `json:"energy"`
+	Synth   []float64 `json:"synth,omitempty"`
+	Alive   bool      `json:"alive"`
+	Retries int       `json:"retries"`
+}
+
+// SnapshotVersion is the current snapshot format version.
+const SnapshotVersion = 1
+
+// ReplayableEngine is implemented by engines whose stochastic state can
+// be captured as a draw count and restored by replaying it from the
+// engine's seed (the virtual cost-model engines). Engines that do not
+// implement it still resume — energies and synthetic coordinates come
+// from the snapshot — but their post-resume random stream is fresh, so
+// bit-exact continuation is not guaranteed.
+type ReplayableEngine interface {
+	// RNGDraws returns the number of draws consumed so far.
+	RNGDraws() int64
+	// ReplayRNG resets the engine RNG to its seed and replays n draws.
+	ReplayRNG(n int64)
+}
+
+// Encode serializes the snapshot to JSON.
+func (sn *Snapshot) Encode() ([]byte, error) {
+	return json.MarshalIndent(sn, "", " ")
+}
+
+// DecodeSnapshot parses a snapshot produced by Encode.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	var sn Snapshot
+	if err := json.Unmarshal(data, &sn); err != nil {
+		return nil, fmt.Errorf("core: decoding snapshot: %v", err)
+	}
+	if sn.Version != SnapshotVersion {
+		return nil, fmt.Errorf("core: snapshot version %d, want %d", sn.Version, SnapshotVersion)
+	}
+	return &sn, nil
+}
+
+// captureSnapshot builds a checkpoint of the current state; called by
+// the dispatcher right after an exchange event completes.
+func (s *Simulation) captureSnapshot(trigger string, events int) *Snapshot {
+	sn := &Snapshot{
+		Version:           SnapshotVersion,
+		Name:              s.spec.Name,
+		Trigger:           trigger,
+		Events:            events,
+		Elapsed:           s.rt.Now() - s.report.Start,
+		RNGDraws:          s.rngDraws,
+		EngineDraws:       -1,
+		Replicas:          make([]ReplicaState, len(s.replicas)),
+		SlotHistory:       make([][]int, len(s.report.SlotHistory)),
+		Dropped:           s.report.Dropped,
+		Relaunches:        s.report.Relaunches,
+		MDExecCoreSeconds: s.report.MDExecCoreSeconds,
+	}
+	if re, ok := s.engine.(ReplayableEngine); ok {
+		sn.EngineDraws = re.RNGDraws()
+	}
+	for i, r := range s.replicas {
+		sn.Replicas[i] = ReplicaState{
+			ID:      r.ID,
+			Slot:    r.Slot,
+			Cycle:   r.Cycle,
+			Energy:  r.Energy,
+			Synth:   append([]float64(nil), r.Synth...),
+			Alive:   r.Alive,
+			Retries: r.Retries,
+		}
+	}
+	for i, row := range s.report.SlotHistory {
+		sn.SlotHistory[i] = append([]int(nil), row...)
+	}
+	return sn
+}
+
+// maybeSnapshot captures and delivers a checkpoint when the spec asks
+// for one at this exchange-event count.
+func (s *Simulation) maybeSnapshot(tr Trigger, events int) {
+	if s.spec.SnapshotEvery <= 0 || s.spec.OnSnapshot == nil {
+		return
+	}
+	if events%s.spec.SnapshotEvery != 0 {
+		return
+	}
+	s.spec.OnSnapshot(s.captureSnapshot(tr.Name(), events))
+}
+
+// applySnapshot restores replica and RNG state from a checkpoint; called
+// from New after the fresh replica set is built.
+func (s *Simulation) applySnapshot(sn *Snapshot) error {
+	if sn.Name != s.spec.Name {
+		return fmt.Errorf("core: snapshot belongs to simulation %q, resuming %q",
+			sn.Name, s.spec.Name)
+	}
+	if len(sn.Replicas) != len(s.replicas) {
+		return fmt.Errorf("core: snapshot has %d replicas, spec %q has %d",
+			len(sn.Replicas), s.spec.Name, len(s.replicas))
+	}
+	seenSlot := make([]bool, len(s.replicas))
+	seenID := make([]bool, len(s.replicas))
+	for _, rs := range sn.Replicas {
+		if rs.ID < 0 || rs.ID >= len(s.replicas) || seenID[rs.ID] {
+			return fmt.Errorf("core: snapshot replica ID %d out of range or duplicated", rs.ID)
+		}
+		seenID[rs.ID] = true
+		if rs.Slot < 0 || rs.Slot >= len(s.replicas) || seenSlot[rs.Slot] {
+			return fmt.Errorf("core: snapshot slots are not a permutation (slot %d)", rs.Slot)
+		}
+		seenSlot[rs.Slot] = true
+		r := s.replicas[rs.ID]
+		r.Slot = rs.Slot
+		r.Cycle = rs.Cycle
+		r.Energy = rs.Energy
+		r.Alive = rs.Alive
+		r.Retries = rs.Retries
+		if len(rs.Synth) > 0 {
+			r.Synth = append([]float64(nil), rs.Synth...)
+		}
+		r.Params = s.slotParams[r.Slot].Clone()
+		s.replicaAt[r.Slot] = r.ID
+	}
+	// Replay the orchestrator RNG to its snapshot position.
+	s.rng = rand.New(rand.NewSource(s.spec.Seed))
+	for i := int64(0); i < sn.RNGDraws; i++ {
+		s.rng.Float64()
+	}
+	s.rngDraws = sn.RNGDraws
+	if re, ok := s.engine.(ReplayableEngine); ok && sn.EngineDraws >= 0 {
+		re.ReplayRNG(sn.EngineDraws)
+	}
+	s.resumeEvents = sn.Events
+	s.resumeElapsed = sn.Elapsed
+	s.resumed = true
+	s.report.Dropped = sn.Dropped
+	s.report.Relaunches = sn.Relaunches
+	s.report.MDExecCoreSeconds = sn.MDExecCoreSeconds
+	s.report.ExchangeEvents = sn.Events
+	s.report.SlotHistory = make([][]int, len(sn.SlotHistory))
+	for i, row := range sn.SlotHistory {
+		s.report.SlotHistory[i] = append([]int(nil), row...)
+	}
+	return nil
+}

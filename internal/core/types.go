@@ -186,6 +186,21 @@ type Spec struct {
 	Trigger Trigger
 	// Seed drives all stochastic choices of the orchestrator.
 	Seed int64
+	// SnapshotEvery, when positive, captures a checkpoint Snapshot every
+	// that many exchange events and hands it to OnSnapshot. Snapshots
+	// taken under the barrier trigger are exact resume points (no MD
+	// segment is in flight at a barrier fire); under asynchronous
+	// triggers, in-flight segments at the snapshot instant are redone
+	// after a resume.
+	SnapshotEvery int
+	// OnSnapshot receives each captured checkpoint; the caller owns
+	// persistence (e.g. cmd/repex writes it to the -checkpoint file).
+	OnSnapshot func(*Snapshot)
+	// Resume restores the simulation from a checkpoint taken by an
+	// earlier run of the same spec: replica slots, cycles, energies,
+	// synthetic coordinates and RNG state are restored in New, and the
+	// dispatcher continues from the snapshot's exchange-event counter.
+	Resume *Snapshot
 }
 
 // triggerPolicy resolves the exchange-trigger policy: Spec.Trigger when

@@ -27,7 +27,12 @@ type Virtual struct {
 	name   string
 	cost   CostModel
 	natoms int
+	seed   int64
 	rng    *rand.Rand
+	// draws counts normal variates consumed from rng; together with seed
+	// it makes the stochastic state replayable for checkpoint/restart
+	// (core.ReplayableEngine).
+	draws int64
 
 	// Synthetic-thermodynamics parameters (exported-by-constructor
 	// defaults tuned to paper-like acceptance ratios).
@@ -60,6 +65,7 @@ func NewVirtual(name string, cost CostModel, natoms int, seed int64) *Virtual {
 		name:       name,
 		cost:       cost,
 		natoms:     natoms,
+		seed:       seed,
 		rng:        rand.New(rand.NewSource(seed)),
 		CvEff:      2.0,
 		RefT:       300,
@@ -91,6 +97,27 @@ func (v *Virtual) InitReplica(r *core.Replica, s *core.Spec) {
 	r.Energy = v.evalEnergy(r, r.Params, s)
 }
 
+// norm draws one standard normal, counting it for replayability.
+func (v *Virtual) norm() float64 {
+	v.draws++
+	return v.rng.NormFloat64()
+}
+
+// RNGDraws returns the number of normal variates consumed so far
+// (core.ReplayableEngine).
+func (v *Virtual) RNGDraws() int64 { return v.draws }
+
+// ReplayRNG resets the engine RNG to its seed and replays n draws,
+// restoring the exact stochastic state of a checkpoint
+// (core.ReplayableEngine).
+func (v *Virtual) ReplayRNG(n int64) {
+	v.rng = rand.New(rand.NewSource(v.seed))
+	v.draws = 0
+	for i := int64(0); i < n; i++ {
+		v.norm()
+	}
+}
+
 // resample redraws the synthetic coordinates, emulating the
 // decorrelation of an MD segment.
 func (v *Virtual) resample(r *core.Replica, s *core.Spec) {
@@ -99,21 +126,21 @@ func (v *Virtual) resample(r *core.Replica, s *core.Spec) {
 		switch dim.Type {
 		case exchange.Umbrella:
 			center := v.restraintCenter(r.Params, uSeen)
-			r.Synth[d] = md.WrapAngle(center + v.SigmaU*v.rng.NormFloat64())
+			r.Synth[d] = md.WrapAngle(center + v.SigmaU*v.norm())
 			uSeen++
 		case exchange.Salt:
-			r.Synth[d] = v.SaltMean + v.SaltSigma*v.rng.NormFloat64()
+			r.Synth[d] = v.SaltMean + v.SaltSigma*v.norm()
 		case exchange.PH:
 			// Pseudo protonation count around the Henderson-
 			// Hasselbalch mean at the replica's pH.
 			mean := float64(v.PHSites) / (1 + math.Pow(10, r.Params.PH-v.PHPKa))
-			r.Synth[d] = mean + v.PHSigma*v.rng.NormFloat64()
+			r.Synth[d] = mean + v.PHSigma*v.norm()
 		}
 	}
 	t := r.Params.TemperatureK
 	mean := v.CvEff * (t - v.RefT)
 	sigma := math.Sqrt(v.CvEff*md.KB) * t
-	r.Synth[len(s.Dims)] = mean + sigma*v.rng.NormFloat64()
+	r.Synth[len(s.Dims)] = mean + sigma*v.norm()
 }
 
 // restraintCenter returns the centre of the i-th umbrella restraint in
@@ -148,7 +175,10 @@ func (v *Virtual) evalEnergy(r *core.Replica, under md.Params, s *core.Spec) flo
 	return e
 }
 
-var _ core.Engine = (*Virtual)(nil)
+var (
+	_ core.Engine           = (*Virtual)(nil)
+	_ core.ReplayableEngine = (*Virtual)(nil)
+)
 
 // MDTask describes the MD segment task for a replica.
 func (v *Virtual) MDTask(r *core.Replica, s *core.Spec, dim int) *task.Spec {

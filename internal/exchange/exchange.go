@@ -219,25 +219,35 @@ func (g Grid) Coord(id int) []int {
 // coordinate. Exchanges along dimension d happen within these groups,
 // exactly the paper's "grouping of replicas by parameter values in each
 // dimension".
+//
+// With row-major IDs the members of a group are an arithmetic sequence:
+// base + k*stride(d), where stride(d) is the product of the trailing
+// dimension sizes. Groups are emitted in increasing order of their
+// smallest member (the coordinate-0 slot), i.e. outer prefix coordinates
+// vary slowest, and members within a group are ordered by their
+// coordinate along d.
 func (g Grid) GroupsAlong(d int) [][]int {
 	if d < 0 || d >= len(g.Shape) {
 		panic(fmt.Sprintf("exchange: dimension %d out of range for shape %v", d, g.Shape))
 	}
-	total := g.Size()
-	groups := make(map[string][]int)
-	var order []string
-	for id := 0; id < total; id++ {
-		coord := g.Coord(id)
-		coord[d] = -1
-		key := fmt.Sprint(coord)
-		if _, seen := groups[key]; !seen {
-			order = append(order, key)
-		}
-		groups[key] = append(groups[key], id)
+	stride := 1
+	for i := d + 1; i < len(g.Shape); i++ {
+		stride *= g.Shape[i]
 	}
-	out := make([][]int, 0, len(order))
-	for _, k := range order {
-		out = append(out, groups[k])
+	nd := g.Shape[d]
+	outer := g.Size() / (stride * nd)
+	out := make([][]int, 0, outer*stride)
+	members := make([]int, outer*stride*nd) // one backing array for all groups
+	for a := 0; a < outer; a++ {
+		for b := 0; b < stride; b++ {
+			base := a*stride*nd + b
+			group := members[:nd:nd]
+			members = members[nd:]
+			for k := 0; k < nd; k++ {
+				group[k] = base + k*stride
+			}
+			out = append(out, group)
+		}
 	}
 	return out
 }

@@ -321,3 +321,57 @@ func TestAcceptanceRatioEmpty(t *testing.T) {
 		t.Fatal("empty ratio != 0")
 	}
 }
+
+// groupsAlongReference is the original map-based implementation, kept as
+// the oracle for the stride-arithmetic GroupsAlong: same groups, same
+// group order (first-seen over ascending IDs), same member order.
+func groupsAlongReference(g Grid, d int) [][]int {
+	total := g.Size()
+	groups := make(map[string][]int)
+	var order []string
+	for id := 0; id < total; id++ {
+		coord := g.Coord(id)
+		coord[d] = -1
+		key := ""
+		for _, c := range coord {
+			key += string(rune('A'+c+1)) + ","
+		}
+		if _, seen := groups[key]; !seen {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], id)
+	}
+	out := make([][]int, 0, len(order))
+	for _, k := range order {
+		out = append(out, groups[k])
+	}
+	return out
+}
+
+func TestGroupsAlongMatchesReference(t *testing.T) {
+	shapes := [][]int{
+		{1}, {7}, {3, 4}, {4, 3}, {2, 2, 2}, {3, 1, 5}, {1, 6, 1}, {2, 3, 4, 2},
+	}
+	for _, shape := range shapes {
+		g := MustNewGrid(shape...)
+		for d := range shape {
+			got := g.GroupsAlong(d)
+			want := groupsAlongReference(g, d)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("shape %v dim %d:\n got %v\nwant %v", shape, d, got, want)
+			}
+		}
+	}
+}
+
+func BenchmarkGroupsAlong(b *testing.B) {
+	g := MustNewGrid(12, 12, 12) // 1728 replicas, the paper's largest sweep
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for d := 0; d < 3; d++ {
+			if len(g.GroupsAlong(d)) == 0 {
+				b.Fatal("no groups")
+			}
+		}
+	}
+}

@@ -23,11 +23,18 @@ type MultiRuntime struct {
 	stream *unitStream
 	// OverheadTotal accumulates client-side overhead (T_RepEx-over).
 	OverheadTotal float64
+	// Failover, when set, replaces an expired pilot in place (same
+	// machine, same description, fresh batch-queue wait) the next time a
+	// submission would route to it. When unset, expired pilots are
+	// simply skipped and the surviving allocations absorb the work.
+	Failover bool
 	// routed counts tasks per pilot, for balance inspection.
 	routed []int
 	// assignedCores tracks total core-width submitted per pilot, the
 	// basis of the capacity-proportional routing decision.
 	assignedCores []int
+	// relaunched counts replacement pilots launched by failover.
+	relaunched int
 }
 
 // NewMultiRuntime binds pilots to an orchestrator process. At least one
@@ -71,18 +78,40 @@ func (m *MultiRuntime) Cores() int {
 // Submit routes the task to the pilot whose relative assigned load
 // (submitted core-width over capacity) would stay lowest, so work is
 // spread proportionally to each machine's allocation. Tasks wider than
-// some pilots are only routed to pilots that fit them.
+// some pilots are only routed to pilots that fit them. Expired pilots
+// are replaced in place when Failover is set and skipped otherwise; if
+// every candidate pilot has expired the task is submitted to the
+// least-loaded expired one and fails fast with ErrPilotExpired, which
+// the scheduler's resubmission cap converts into replica drops.
 func (m *MultiRuntime) Submit(s *task.Spec) task.Handle {
-	best := -1
-	bestLoad := 0.0
-	for i, pl := range m.pilots {
+	best, bestLoad := -1, 0.0
+	bestAny, bestAnyLoad := -1, 0.0 // fallback incl. expired pilots
+	for i := range m.pilots {
+		pl := m.pilots[i]
 		if s.Cores > pl.Cores() {
 			continue
 		}
+		if pl.Expired() && m.Failover {
+			if npl, err := Launch(pl.cl, pl.desc); err == nil {
+				m.pilots[i] = npl
+				m.assignedCores[i] = 0
+				m.relaunched++
+				pl = npl
+			}
+		}
 		load := float64(m.assignedCores[i]+s.Cores) / float64(pl.Cores())
+		if bestAny < 0 || load < bestAnyLoad {
+			bestAny, bestAnyLoad = i, load
+		}
+		if pl.Expired() {
+			continue
+		}
 		if best < 0 || load < bestLoad {
 			best, bestLoad = i, load
 		}
+	}
+	if best < 0 {
+		best = bestAny
 	}
 	if best < 0 {
 		panic(fmt.Sprintf("pilot: task %q (%d cores) fits no pilot", s.Name, s.Cores))
@@ -91,6 +120,9 @@ func (m *MultiRuntime) Submit(s *task.Spec) task.Handle {
 	m.assignedCores[best] += s.Cores
 	return m.pilots[best].SubmitUnit(s)
 }
+
+// Relaunched reports how many replacement pilots failover has launched.
+func (m *MultiRuntime) Relaunched() int { return m.relaunched }
 
 // Await blocks the orchestrator until the unit finishes.
 func (m *MultiRuntime) Await(h task.Handle) task.Result {

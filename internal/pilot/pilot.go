@@ -31,6 +31,12 @@ import (
 // ErrTaskFailed is the error recorded on a unit killed by fault injection.
 var ErrTaskFailed = errors.New("pilot: task failed (injected fault)")
 
+// ErrPilotExpired is the error recorded on units interrupted by their
+// pilot's walltime expiring. It wraps task.ErrResourceLost so the
+// scheduler recognises it as an infrastructure failure (resubmit without
+// charging the replica's fault budget) rather than a task failure.
+var ErrPilotExpired = fmt.Errorf("pilot: walltime expired: %w", task.ErrResourceLost)
+
 // State is the compute-unit lifecycle state.
 type State int
 
@@ -68,6 +74,11 @@ func (s State) String() string {
 }
 
 // Description describes a pilot: the core count to hold and a walltime.
+// A positive Walltime bounds the pilot's life: that many virtual seconds
+// after the allocation becomes active, the pilot expires — executing and
+// queued units fail with ErrPilotExpired and the machine allocation is
+// released, exactly like a batch system killing an over-walltime job.
+// Zero or negative means unbounded.
 type Description struct {
 	Cores    int
 	Walltime float64
@@ -82,10 +93,14 @@ type Pilot struct {
 	launcher *sim.Resource
 	active   *sim.Completion
 	alloc    *cluster.Allocation
+	// expiry fires when the walltime runs out; nil for unbounded pilots.
+	expiry  *sim.Completion
+	expired bool
 
 	unitsSubmitted int
 	unitsDone      int
 	unitsFailed    int
+	unitsExpired   int
 }
 
 // Unit is a submitted compute unit; it implements task.Handle.
@@ -137,6 +152,9 @@ func Launch(cl *cluster.Cluster, desc Description) (*Pilot, error) {
 		launcher: sim.NewResource(env, 1),
 		active:   sim.NewCompletion(env),
 	}
+	if desc.Walltime > 0 {
+		pl.expiry = sim.NewCompletion(env)
+	}
 	env.Go(fmt.Sprintf("pilot-%s", cl.Config().Name), func(p *sim.Proc) {
 		alloc, err := cl.Allocate(p, desc.Cores)
 		if err != nil {
@@ -145,6 +163,14 @@ func Launch(cl *cluster.Cluster, desc Description) (*Pilot, error) {
 		}
 		pl.alloc = alloc
 		pl.active.Complete(nil)
+		if pl.expiry != nil {
+			// Walltime watchdog: the batch system reclaims the
+			// allocation that many seconds after it became active.
+			p.Sleep(desc.Walltime)
+			pl.expired = true
+			pl.expiry.Complete(ErrPilotExpired)
+			pl.alloc.Release()
+		}
 	})
 	return pl, nil
 }
@@ -170,10 +196,25 @@ func (pl *Pilot) Cancel() {
 	}
 }
 
+// Expired reports whether the pilot's walltime has run out.
+func (pl *Pilot) Expired() bool { return pl.expired }
+
+// Walltime returns the pilot's walltime bound (<= 0 means unbounded).
+func (pl *Pilot) Walltime() float64 { return pl.desc.Walltime }
+
+// Description returns the pilot's description.
+func (pl *Pilot) Description() Description { return pl.desc }
+
+// Cluster returns the machine the pilot runs on.
+func (pl *Pilot) Cluster() *cluster.Cluster { return pl.cl }
+
 // Counters reports unit accounting.
 func (pl *Pilot) Counters() (submitted, done, failed int) {
 	return pl.unitsSubmitted, pl.unitsDone, pl.unitsFailed
 }
+
+// UnitsExpired reports how many units the walltime expiry killed.
+func (pl *Pilot) UnitsExpired() int { return pl.unitsExpired }
 
 // SubmitUnit schedules a compute unit on the pilot. It returns
 // immediately; the unit runs through its lifecycle as resources permit.
@@ -192,6 +233,33 @@ func (pl *Pilot) SubmitUnit(spec *task.Spec) *Unit {
 	return u
 }
 
+// failUnit completes a unit as FAILED with the given error.
+func (pl *Pilot) failUnit(p *sim.Proc, u *Unit, err error) {
+	u.state = StateFailed
+	u.res.Err = err
+	u.res.Finished = p.Now()
+	pl.unitsFailed++
+	if errors.Is(err, task.ErrResourceLost) {
+		pl.unitsExpired++
+	}
+	u.done.Complete(err)
+	u.notifyDone()
+}
+
+// sleepOrExpire sleeps d virtual seconds, returning true early if the
+// pilot's walltime expires first (the batch system kills the unit
+// mid-execution).
+func (pl *Pilot) sleepOrExpire(p *sim.Proc, d float64) bool {
+	if pl.expiry == nil {
+		p.Sleep(d)
+		return false
+	}
+	if pl.expired {
+		return true
+	}
+	return pl.expiry.AwaitTimeout(p, d)
+}
+
 // runUnit drives one unit through its lifecycle on process p.
 func (pl *Pilot) runUnit(p *sim.Proc, u *Unit) {
 	cfg := pl.cl.Config()
@@ -199,12 +267,11 @@ func (pl *Pilot) runUnit(p *sim.Proc, u *Unit) {
 
 	// The unit cannot progress before the pilot is active.
 	if err := pl.active.Await(p); err != nil {
-		u.state = StateFailed
-		u.res.Err = err
-		u.res.Finished = p.Now()
-		pl.unitsFailed++
-		u.done.Complete(err)
-		u.notifyDone()
+		pl.failUnit(p, u, err)
+		return
+	}
+	if pl.expired {
+		pl.failUnit(p, u, ErrPilotExpired)
 		return
 	}
 
@@ -212,11 +279,18 @@ func (pl *Pilot) runUnit(p *sim.Proc, u *Unit) {
 	u.state = StateStagingIn
 	u.res.StageIn = pl.cl.StageFiles(p, u.spec.InFiles, u.spec.InBytes)
 
-	// SCHEDULING: wait for cores within the pilot.
+	// SCHEDULING: wait for cores within the pilot. A unit that was still
+	// queued when the walltime ran out dies with the pilot (other units'
+	// failures release their cores, so queued waiters always wake).
 	u.state = StateScheduling
 	t0 := p.Now()
 	pl.cores.Acquire(p, u.spec.Cores)
 	u.res.CoreWait = p.Now() - t0
+	if pl.expired {
+		pl.cores.Release(u.spec.Cores)
+		pl.failUnit(p, u, ErrPilotExpired)
+		return
+	}
 
 	// Launch: serialized through the agent launcher, plus fixed latency.
 	// Units that had to wait for cores (second and later waves in
@@ -238,27 +312,37 @@ func (pl *Pilot) runUnit(p *sim.Proc, u *Unit) {
 	pl.launcher.Release(1)
 	p.Sleep(cfg.LaunchLatency)
 	u.res.Launch = p.Now() - t1
+	if pl.expired {
+		pl.cores.Release(u.spec.Cores)
+		pl.failUnit(p, u, ErrPilotExpired)
+		return
+	}
 
 	// EXECUTING.
 	u.state = StateExecuting
 	d := pl.cl.ScaleDuration(u.spec.Duration)
 	failed := u.spec.CanFail && pl.cl.TaskFails()
 	if failed {
-		// Fail partway through the run.
-		p.Sleep(d / 2)
+		// Fail partway through the run (unless the walltime kills the
+		// unit first).
+		expired := pl.sleepOrExpire(p, d/2)
 		u.res.Exec = p.Now() - t1 - u.res.Launch
 		pl.cores.Release(u.spec.Cores)
-		u.state = StateFailed
-		u.res.Err = ErrTaskFailed
-		u.res.Finished = p.Now()
-		pl.unitsFailed++
-		u.done.Complete(ErrTaskFailed)
-		u.notifyDone()
+		err := ErrTaskFailed
+		if expired {
+			err = ErrPilotExpired
+		}
+		pl.failUnit(p, u, err)
 		return
 	}
 	t2 := p.Now()
-	p.Sleep(d)
+	expired := pl.sleepOrExpire(p, d)
 	u.res.Exec = p.Now() - t2
+	if expired {
+		pl.cores.Release(u.spec.Cores)
+		pl.failUnit(p, u, ErrPilotExpired)
+		return
+	}
 	pl.cores.Release(u.spec.Cores)
 
 	// STAGING_OUT.
@@ -324,6 +408,13 @@ func (s *unitStream) awaitNext(deadline float64) []task.Handle {
 // Runtime adapts a Pilot to the task.Runtime interface. All methods must
 // be called from the bound orchestrator process, mirroring RepEx's
 // single-threaded execution-management module.
+//
+// A runtime built with NewFailoverRuntime additionally survives pilot
+// walltime expiry: the first submission after the current pilot expires
+// transparently launches a replacement pilot from the same description
+// (paying the batch-queue wait again), so interrupted segments
+// resubmitted by the scheduler land on fresh cores instead of failing
+// forever against a dead allocation.
 type Runtime struct {
 	pl     *Pilot
 	proc   *sim.Proc
@@ -331,6 +422,10 @@ type Runtime struct {
 	// OverheadTotal accumulates client-side overhead charged via
 	// Overhead, for reporting T_RepEx-over.
 	OverheadTotal float64
+
+	// relaunch, when set, replaces an expired pilot on demand.
+	relaunch   func() (*Pilot, error)
+	relaunched int
 }
 
 // NewRuntime binds a pilot to an orchestrator process.
@@ -338,8 +433,40 @@ func NewRuntime(pl *Pilot, proc *sim.Proc) *Runtime {
 	return &Runtime{pl: pl, proc: proc, stream: newUnitStream(proc)}
 }
 
-// Pilot returns the underlying pilot.
+// NewFailoverRuntime launches a pilot from desc on cl and binds it to
+// proc; when that pilot's walltime expires, the next submission launches
+// a replacement pilot with the same description (pilot-level failover).
+func NewFailoverRuntime(cl *cluster.Cluster, desc Description, proc *sim.Proc) (*Runtime, error) {
+	pl, err := Launch(cl, desc)
+	if err != nil {
+		return nil, err
+	}
+	r := NewRuntime(pl, proc)
+	r.relaunch = func() (*Pilot, error) { return Launch(cl, desc) }
+	return r, nil
+}
+
+// Pilot returns the underlying (current) pilot.
 func (r *Runtime) Pilot() *Pilot { return r.pl }
+
+// Relaunched reports how many replacement pilots failover has launched.
+func (r *Runtime) Relaunched() int { return r.relaunched }
+
+// ensurePilot replaces an expired pilot before a submission when
+// failover is configured. If the replacement launch fails the expired
+// pilot is kept: submissions then fail fast with ErrPilotExpired and the
+// scheduler's resubmission cap converts that into replica drops.
+func (r *Runtime) ensurePilot() {
+	if r.relaunch == nil || !r.pl.Expired() {
+		return
+	}
+	pl, err := r.relaunch()
+	if err != nil {
+		return
+	}
+	r.pl = pl
+	r.relaunched++
+}
 
 // Now returns the virtual time.
 func (r *Runtime) Now() float64 { return r.proc.Now() }
@@ -347,12 +474,17 @@ func (r *Runtime) Now() float64 { return r.proc.Now() }
 // Cores returns the pilot's core count.
 func (r *Runtime) Cores() int { return r.pl.Cores() }
 
-// Submit schedules a unit.
-func (r *Runtime) Submit(s *task.Spec) task.Handle { return r.pl.SubmitUnit(s) }
+// Submit schedules a unit (on a fresh pilot if the current one expired
+// and failover is configured).
+func (r *Runtime) Submit(s *task.Spec) task.Handle {
+	r.ensurePilot()
+	return r.pl.SubmitUnit(s)
+}
 
 // SubmitWatched schedules a unit and registers it on the completion
 // stream for delivery by AwaitNext.
 func (r *Runtime) SubmitWatched(s *task.Spec) task.Handle {
+	r.ensurePilot()
 	u := r.pl.SubmitUnit(s)
 	r.stream.watch(u)
 	return u

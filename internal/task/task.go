@@ -15,7 +15,17 @@
 // which is precisely the decoupling the paper's design argues for.
 package task
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrResourceLost marks a task failure caused by the executing resource
+// disappearing (e.g. a pilot's walltime expiring) rather than by the
+// task itself. Runtimes wrap this sentinel (errors.Is) so the scheduler
+// can resubmit interrupted work without charging it against the task's
+// own failure budget.
+var ErrResourceLost = errors.New("task: executing resource lost")
 
 // Kind classifies a task within a replica-exchange cycle.
 type Kind int

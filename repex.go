@@ -127,6 +127,19 @@ const (
 	FaultRelaunch = core.FaultRelaunch
 )
 
+// Checkpoint/restart: a Snapshot captures a run after an exchange event
+// (Spec.SnapshotEvery / Spec.OnSnapshot) and Spec.Resume restores it, so
+// runs longer than one pilot walltime chain across allocations.
+type (
+	// Snapshot is a serializable checkpoint of a running simulation.
+	Snapshot = core.Snapshot
+	// ReplicaState is the per-replica state stored in a Snapshot.
+	ReplicaState = core.ReplicaState
+)
+
+// DecodeSnapshot parses a snapshot produced by Snapshot.Encode.
+func DecodeSnapshot(data []byte) (*Snapshot, error) { return core.DecodeSnapshot(data) }
+
 // GeometricTemperatures builds the standard T-REMD ladder.
 func GeometricTemperatures(lo, hi float64, n int) []float64 {
 	return core.GeometricTemperatures(lo, hi, n)
@@ -217,15 +230,18 @@ func RunVirtual(spec *Spec, machine cluster.Config, pilotCores int, kind Virtual
 	if err != nil {
 		return nil, err
 	}
-	pl, err := pilot.Launch(cl, pilot.Description{Cores: pilotCores, Walltime: 1e12})
-	if err != nil {
-		return nil, err
-	}
 	eng := newEng(seed + 2)
 	var report *core.Report
 	var runErr error
 	env.Go("emm", func(p *sim.Proc) {
-		rt := pilot.NewRuntime(pl, p)
+		// Unbounded walltime here; bounded pilots with failover are
+		// exposed through internal/bench.RunParams.PilotWalltime and the
+		// cmd/repex resource file.
+		rt, err := pilot.NewFailoverRuntime(cl, pilot.Description{Cores: pilotCores}, p)
+		if err != nil {
+			runErr = err
+			return
+		}
 		simu, err := core.New(spec, eng, rt)
 		if err != nil {
 			runErr = err
