@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/analysis"
 	"repro/internal/bench"
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -229,6 +230,50 @@ func BenchmarkDispatcher(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkDispatcherBus measures the same per-completion dispatcher
+// cost with the observability subsystem fully attached: the event bus
+// publishing every MD/exchange/fault record, an online
+// analysis.Collector consuming them, and a deliberately stalled
+// subscriber (tiny never-drained ring) riding along. The delta against
+// BenchmarkDispatcher's window case is the bus overhead; the acceptance
+// gate for this subsystem is < 5% per completion.
+func BenchmarkDispatcherBus(b *testing.B) {
+	for _, replicas := range []int{64, 256} {
+		b.Run(itoa(replicas)+"/window", func(b *testing.B) {
+			completions := 0
+			dropped := uint64(0)
+			for i := 0; i < b.N; i++ {
+				spec := ablationSpec(replicas, 2, PatternAsynchronous, 100)
+				spec.Trigger = NewWindowTrigger(100, 0)
+				spec.Bus = NewBus()
+				col := analysis.New(analysis.ConfigFromSpec(spec))
+				col.Attach(spec.Bus, 1<<12)
+				stalled := spec.Bus.Subscribe(8)
+				cfg := SuperMIC()
+				cfg.ExecJitter = 0.05
+				rep, err := RunVirtual(spec, cfg, replicas, AmberSander, 2881, int64(i+1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				stats := col.Snapshot()
+				if stats.Events != rep.ExchangeEvents {
+					b.Fatalf("collector saw %d events, report %d", stats.Events, rep.ExchangeEvents)
+				}
+				dropped += stalled.Dropped()
+				for _, rec := range rep.Records {
+					completions += rec.MD.Tasks
+				}
+			}
+			if dropped == 0 {
+				b.Fatal("stalled subscriber dropped nothing: the non-blocking path was not exercised")
+			}
+			if completions > 0 {
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(completions), "ns/completion")
+			}
+		})
 	}
 }
 

@@ -33,17 +33,28 @@
 // session: -checkpoint FILE writes a snapshot every -checkpoint-every
 // exchange events, and -resume FILE continues a killed run from its last
 // snapshot.
+//
+// Observability: -listen HOST:PORT (or a "serve": {"listen": ...} block
+// in the simulation file) starts the live HTTP status server with
+// GET /status, /stats and /metrics (Prometheus text format). With a
+// listener active the process keeps serving after the run completes
+// until interrupted, so the final statistics remain scrapeable.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
 
+	"repro/internal/analysis"
 	"repro/internal/bench"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/engines"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -52,18 +63,19 @@ func main() {
 	resumePath := flag.String("resume", "", "snapshot file to resume from")
 	ckptPath := flag.String("checkpoint", "", "snapshot file to write checkpoints to")
 	ckptEvery := flag.Int("checkpoint-every", 1, "exchange events between checkpoints")
+	listen := flag.String("listen", "", "host:port for the live status server (overrides the sim file's serve block)")
 	flag.Parse()
 	if *simPath == "" || *resPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*simPath, *resPath, *resumePath, *ckptPath, *ckptEvery); err != nil {
+	if err := run(*simPath, *resPath, *resumePath, *ckptPath, *ckptEvery, *listen); err != nil {
 		fmt.Fprintln(os.Stderr, "repex:", err)
 		os.Exit(1)
 	}
 }
 
-func run(simPath, resPath, resumePath, ckptPath string, ckptEvery int) error {
+func run(simPath, resPath, resumePath, ckptPath string, ckptEvery int, listen string) error {
 	simData, err := os.ReadFile(simPath)
 	if err != nil {
 		return err
@@ -87,21 +99,87 @@ func run(simPath, resPath, resumePath, ckptPath string, ckptEvery int) error {
 	if resumePath != "" {
 		data, err := os.ReadFile(resumePath)
 		if err != nil {
-			return err
+			return fmt.Errorf("resume checkpoint %s: %v (is the path right? run without -resume to start fresh)",
+				resumePath, err)
 		}
 		snap, err := core.DecodeSnapshot(data)
 		if err != nil {
-			return err
+			return fmt.Errorf("resume checkpoint %s is not a usable snapshot (empty, truncated or corrupt): %v",
+				resumePath, err)
 		}
 		spec.Resume = snap
 		fmt.Printf("resuming %q from snapshot at exchange event %d\n", spec.Name, snap.Events)
 	}
+	if listen == "" && simFile.Serve != nil {
+		listen = simFile.Serve.Listen
+	}
+
+	// The event bus and collector power both the live endpoints and the
+	// checkpoint-embedded statistics; without either consumer the run
+	// stays bus-free.
+	var col *analysis.Collector
+	if listen != "" || ckptPath != "" {
+		spec.Bus = core.NewBus()
+		col = analysis.New(analysis.ConfigFromSpec(spec))
+		col.Attach(spec.Bus, analysis.RunBuffer(spec))
+		if spec.Resume != nil {
+			if len(spec.Resume.Analysis) > 0 {
+				if err := col.Restore(spec.Resume.Analysis); err != nil {
+					return fmt.Errorf("resume checkpoint %s: %v", resumePath, err)
+				}
+			} else {
+				// No collector ran before the snapshot: continue the
+				// event clock and slot baseline from the checkpoint so
+				// walks are not measured against the fresh-run identity.
+				if err := col.SeedResume(spec.Resume); err != nil {
+					return fmt.Errorf("resume checkpoint %s: %v", resumePath, err)
+				}
+				fmt.Fprintln(os.Stderr, "repex: checkpoint carries no analysis state; statistics cover the resumed portion only")
+			}
+		}
+	}
+
+	triggerName := spec.TriggerName()
+
+	var state atomic.Value // "pending" | "running" | "completed" | "failed"
+	state.Store("pending")
+	var runFailure atomic.Value
+	runFailure.Store("")
+	var server *serve.Server
+	if listen != "" {
+		server = serve.New(col, func() serve.RunStatus {
+			return serve.RunStatus{
+				Name:         spec.Name,
+				Engine:       simFile.Engine,
+				Trigger:      triggerName,
+				State:        state.Load().(string),
+				Replicas:     spec.Replicas(),
+				Cores:        pilotSpec.Cores,
+				CyclesTarget: spec.Cycles,
+				BusPublished: spec.Bus.Published(),
+				Error:        runFailure.Load().(string),
+			}
+		})
+		addr, err := server.Start(listen)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("status server listening on http://%s (/status /stats /metrics)\n", addr)
+	}
+
 	if ckptPath != "" {
 		if ckptEvery < 1 {
 			ckptEvery = 1
 		}
 		spec.SnapshotEvery = ckptEvery
 		spec.OnSnapshot = func(sn *core.Snapshot) {
+			if col != nil {
+				if data, err := col.EncodeState(); err == nil {
+					sn.Analysis = data
+				} else {
+					fmt.Fprintln(os.Stderr, "repex: encoding analysis state:", err)
+				}
+			}
 			data, err := sn.Encode()
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "repex: encoding checkpoint:", err)
@@ -133,10 +211,20 @@ func run(simPath, resPath, resumePath, ckptPath string, ckptEvery int) error {
 		PilotWalltime: pilotSpec.Walltime,
 		NewEngine:     newEngine,
 		Seed:          spec.Seed,
+		OnStart:       func(*core.Simulation) { state.Store("running") },
 	})
 	if err != nil {
+		// A failed run must exit non-zero promptly even with a listener
+		// active — unattended invocations (cron, CI) would otherwise
+		// hang on a signal that never comes.
+		state.Store("failed")
+		runFailure.Store(err.Error())
+		if server != nil {
+			_ = server.Close()
+		}
 		return err
 	}
+	state.Store("completed")
 	fmt.Print(report.String())
 	d := report.Decompose()
 	fmt.Printf("Eq.1 decomposition per cycle: T_MD=%.1fs T_EX=%.1fs T_data=%.2fs T_RepEx=%.2fs T_RP=%.2fs\n",
@@ -145,6 +233,22 @@ func run(simPath, resPath, resumePath, ckptPath string, ckptEvery int) error {
 		tmd, tex := report.DimDecompose(dim)
 		fmt.Printf("  dim %d (%s): MD %.1fs, exchange %.1fs, acceptance %.1f%%\n",
 			dim, spec.Dims[dim].Type, tmd, tex, 100*report.AcceptanceRatioByDim(dim))
+	}
+	if col != nil {
+		stats := col.Snapshot()
+		fmt.Printf("mixing: %d round trips (mean %.1f events), %.0f%% of replicas traversed the full ladder\n",
+			stats.RoundTrips, stats.MeanRoundTripEvents, 100*stats.FullTraversalFraction)
+		if stats.BusDropped > 0 {
+			fmt.Fprintf(os.Stderr, "repex: warning: collector lost %d events to ring overflow; statistics are partial\n",
+				stats.BusDropped)
+		}
+	}
+	if server != nil {
+		fmt.Println("run finished; still serving — interrupt (Ctrl-C) to exit")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
+		_ = server.Close()
 	}
 	return nil
 }

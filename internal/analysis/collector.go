@@ -1,0 +1,506 @@
+// Package analysis implements online exchange statistics for a running
+// REMD simulation: per-neighbour-pair acceptance ratios per dimension,
+// per-replica slot random walks with round-trip times through the
+// ladder, an end-to-end mixing metric (fraction of replicas that
+// traversed the full ladder) and rolling MD/exchange overhead
+// histograms. A Collector consumes the typed event bus published by the
+// dispatcher (core.Bus) through a bounded subscription, so it can run
+// behind a live HTTP status server without ever touching the hot loop.
+//
+// All collector state is serializable: EncodeState/Restore round-trip it
+// through core.Snapshot's Analysis field, so statistics survive
+// checkpoint/restart exactly. To keep that exactness, the collector's
+// internal clock is the exchange-event index, not virtual seconds — a
+// resumed run replays the same event sequence even though its absolute
+// runtime times shift by a fresh batch-queue wait.
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Config sizes a Collector for one simulation.
+type Config struct {
+	// DimSizes is the number of windows along each exchange dimension.
+	DimSizes []int
+	// Replicas is the total replica count (product of DimSizes).
+	Replicas int
+	// TraceLen bounds the per-replica slot-trace tail kept for
+	// inspection (default 64; snapshots grow with it).
+	TraceLen int
+	// SecondsBounds are the histogram bucket upper bounds for the MD and
+	// exchange overhead histograms (default DefaultSecondsBounds).
+	SecondsBounds []float64
+}
+
+// ConfigFromSpec derives the collector configuration from a simulation
+// spec.
+func ConfigFromSpec(spec *core.Spec) Config {
+	sizes := make([]int, len(spec.Dims))
+	for i, d := range spec.Dims {
+		sizes[i] = len(d.Values)
+	}
+	return Config{DimSizes: sizes, Replicas: spec.Replicas()}
+}
+
+// DefaultSecondsBounds spans milliseconds (localexec) to hours (virtual
+// supercomputer cycles).
+var DefaultSecondsBounds = []float64{
+	0.001, 0.01, 0.1, 1, 10, 30, 60, 120, 300, 600, 1800, 3600,
+}
+
+// PairStat counts the exchange attempts of one neighbour pair.
+type PairStat struct {
+	Attempted uint64 `json:"attempted"`
+	Accepted  uint64 `json:"accepted"`
+}
+
+// Ratio returns accepted/attempted (0 if never attempted).
+func (p PairStat) Ratio() float64 {
+	if p.Attempted == 0 {
+		return 0
+	}
+	return float64(p.Accepted) / float64(p.Attempted)
+}
+
+// Histogram is a fixed-bound histogram in the Prometheus style: Counts
+// has one bucket per bound plus a final overflow (+Inf) bucket.
+type Histogram struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  uint64    `json:"count"`
+}
+
+// NewHistogram builds an empty histogram over the given bucket bounds.
+func NewHistogram(bounds []float64) Histogram {
+	return Histogram{Bounds: bounds, Counts: make([]uint64, len(bounds)+1)}
+}
+
+// Observe adds one sample.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.Bounds) && v > h.Bounds[i] {
+		i++
+	}
+	h.Counts[i]++
+	h.Sum += v
+	h.Count++
+}
+
+// Mean returns the sample mean (0 for no samples).
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// walk is one replica's random-walk state through the flattened slot
+// ladder (slot 0 = bottom, nSlots-1 = top). The collector's clock for
+// round trips is the exchange-event index: the initial assignment is
+// time 0 and exchange event e completes at time e+1.
+type walk struct {
+	// Slot is the replica's current slot.
+	Slot int `json:"slot"`
+	// StartEnd is the endpoint the current round started at (-1 none,
+	// 0 bottom, 1 top); StartAt its event time (last unarmed touch).
+	StartEnd int `json:"start_end"`
+	StartAt  int `json:"start_at"`
+	// Armed marks that the opposite endpoint was visited since StartAt.
+	Armed bool `json:"armed,omitempty"`
+	// SeenBottom/SeenTop feed the full-traversal mixing metric.
+	SeenBottom bool `json:"seen_bottom,omitempty"`
+	SeenTop    bool `json:"seen_top,omitempty"`
+	// RoundTrips counts completed endpoint-to-endpoint-and-back
+	// traversals; TripEvents sums their durations in exchange events.
+	RoundTrips int `json:"round_trips,omitempty"`
+	TripEvents int `json:"trip_events,omitempty"`
+	// Trace is the tail window of recent slots (after each event).
+	Trace []int `json:"trace,omitempty"`
+}
+
+// state is the complete serializable collector state.
+type state struct {
+	Events      int               `json:"events"`
+	MDSegments  int               `json:"md_segments"`
+	MDFailures  int               `json:"md_failures"`
+	Faults      map[string]uint64 `json:"faults"`
+	Pairs       [][]PairStat      `json:"pairs"`
+	Walks       []walk            `json:"walks"`
+	MDExec      Histogram         `json:"md_exec"`
+	ExchangeOvh Histogram         `json:"exchange_overhead"`
+}
+
+// Collector accumulates online statistics from simulation events. All
+// methods are safe for concurrent use; a live HTTP server can read while
+// the simulation publishes.
+type Collector struct {
+	mu      sync.Mutex
+	cfg     Config
+	sub     *core.Subscription
+	scratch []core.Event
+	st      state
+}
+
+// New builds a collector for the given configuration. Replica i is
+// assumed to start in slot i (the simulation's initial assignment);
+// Restore overwrites this for resumed runs.
+func New(cfg Config) *Collector {
+	if cfg.TraceLen <= 0 {
+		cfg.TraceLen = 64
+	}
+	if len(cfg.SecondsBounds) == 0 {
+		cfg.SecondsBounds = DefaultSecondsBounds
+	}
+	c := &Collector{cfg: cfg}
+	c.st = state{
+		Faults:      map[string]uint64{},
+		Pairs:       make([][]PairStat, len(cfg.DimSizes)),
+		Walks:       make([]walk, cfg.Replicas),
+		MDExec:      NewHistogram(cfg.SecondsBounds),
+		ExchangeOvh: NewHistogram(cfg.SecondsBounds),
+	}
+	for d, n := range cfg.DimSizes {
+		if n > 1 {
+			c.st.Pairs[d] = make([]PairStat, n-1)
+		}
+	}
+	for i := range c.st.Walks {
+		w := &c.st.Walks[i]
+		w.Slot = i
+		w.StartEnd = -1
+		c.touchEndpoint(w, 0)
+	}
+	return c
+}
+
+// Attach subscribes the collector to a bus with the given ring capacity
+// (non-positive selects a 8192-event ring). Call Sync to drain.
+//
+// The ring must cover every event published between two Syncs or the
+// oldest are lost (Stats.BusDropped counts them). A collector that is
+// only drained on demand — an HTTP scrape, a checkpoint, the final
+// report — should size the ring for the whole run: see RunBuffer.
+func (c *Collector) Attach(bus *core.Bus, buffer int) {
+	if buffer <= 0 {
+		buffer = 8192
+	}
+	c.mu.Lock()
+	c.sub = bus.Subscribe(buffer)
+	c.mu.Unlock()
+}
+
+// RunBuffer returns a ring capacity covering every event a run of the
+// spec can publish — one MDEvent per segment, one ExchangeEvent per
+// exchange, FaultEvents bounded by the retry budgets — so a collector
+// drained only on demand still sees the complete stream. Capped at 2^20
+// entries (a few MB) for truly enormous specs; beyond that, drain
+// periodically.
+func RunBuffer(spec *core.Spec) int {
+	segments := spec.Replicas() * spec.Cycles * (len(spec.Dims) + 1)
+	retries := spec.MaxRetries
+	if retries <= 0 {
+		retries = 3 // core's default
+	}
+	n := segments*(2+retries) + 4096
+	if n > 1<<20 {
+		n = 1 << 20
+	}
+	return n
+}
+
+// Sync drains the subscription and applies every pending event. It is
+// called by readers (the HTTP server, the checkpoint hook) so statistics
+// are current at observation time without polling goroutines.
+func (c *Collector) Sync() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sub == nil {
+		return
+	}
+	c.scratch = c.sub.Drain(c.scratch[:0])
+	for _, ev := range c.scratch {
+		c.apply(ev)
+	}
+}
+
+// Apply feeds one event directly (tests, or callers without a bus).
+func (c *Collector) Apply(ev core.Event) {
+	c.mu.Lock()
+	c.apply(ev)
+	c.mu.Unlock()
+}
+
+func (c *Collector) apply(ev core.Event) {
+	switch e := ev.(type) {
+	case core.MDEvent:
+		c.st.MDSegments++
+		if e.Failed {
+			c.st.MDFailures++
+		}
+		c.st.MDExec.Observe(e.Exec)
+	case core.FaultEvent:
+		c.st.Faults[e.Kind]++
+		// Relaunched attempts never reach an MDEvent; their exec feeds
+		// the histogram here so every attempt is observed exactly once
+		// (a drop's exec arrives on its terminal MDEvent instead).
+		// MDSegments/MDFailures stay final-result counters.
+		if e.Kind != core.FaultKindDrop {
+			c.st.MDExec.Observe(e.Exec)
+		}
+	case core.ExchangeEvent:
+		c.applyExchange(e)
+	}
+}
+
+func (c *Collector) applyExchange(e core.ExchangeEvent) {
+	for _, p := range e.Pairs {
+		// Only true neighbour attempts feed the per-pair ladder stats;
+		// pairs bridging a dead replica's window (Hi > Lo+1) would
+		// pollute the (Lo, Lo+1) ratio with swaps that never involved
+		// that pair.
+		if p.Hi != p.Lo+1 {
+			continue
+		}
+		if e.Dim < len(c.st.Pairs) && p.Lo >= 0 && p.Lo < len(c.st.Pairs[e.Dim]) {
+			ps := &c.st.Pairs[e.Dim][p.Lo]
+			ps.Attempted++
+			if p.Accepted {
+				ps.Accepted++
+			}
+		}
+	}
+	c.st.ExchangeOvh.Observe(e.EXWall)
+	c.st.Events++
+	now := c.st.Events // event e completes at collector time e+1
+	for id, slot := range e.Slots {
+		if id >= len(c.st.Walks) {
+			break
+		}
+		w := &c.st.Walks[id]
+		w.Slot = slot
+		// >= (with trim), not ==: a Restore can hand us a trace longer
+		// than this collector's TraceLen.
+		if len(w.Trace) >= c.cfg.TraceLen {
+			n := copy(w.Trace, w.Trace[len(w.Trace)-c.cfg.TraceLen+1:])
+			w.Trace = w.Trace[:n]
+		}
+		w.Trace = append(w.Trace, slot)
+		c.touchEndpoint(w, now)
+	}
+}
+
+// touchEndpoint advances the round-trip state machine for a replica
+// observed at its current slot at collector time t.
+func (c *Collector) touchEndpoint(w *walk, t int) {
+	top := c.cfg.Replicas - 1
+	var end int
+	switch w.Slot {
+	case 0:
+		end = 0
+		w.SeenBottom = true
+	case top:
+		end = 1
+		w.SeenTop = true
+	default:
+		return
+	}
+	if top == 0 {
+		return // degenerate one-slot ladder
+	}
+	switch {
+	case w.StartEnd == -1:
+		w.StartEnd = end
+		w.StartAt = t
+	case end == w.StartEnd:
+		if w.Armed {
+			// Completed start -> opposite -> start: one round trip.
+			w.RoundTrips++
+			w.TripEvents += t - w.StartAt
+			w.Armed = false
+		}
+		// Unarmed revisits restart the clock: a round trip is measured
+		// from the last departure of the starting endpoint.
+		w.StartAt = t
+	default:
+		w.Armed = true
+	}
+}
+
+// Stats is the collector's externally visible snapshot (the /stats
+// payload).
+type Stats struct {
+	// Events is the number of exchange events observed; MDSegments and
+	// MDFailures count finally-processed MD segments.
+	Events     int               `json:"events"`
+	MDSegments int               `json:"md_segments"`
+	MDFailures int               `json:"md_failures"`
+	Faults     map[string]uint64 `json:"faults"`
+	// Acceptance holds, per dimension, the per-neighbour-pair exchange
+	// statistics: entry i covers the pair of windows (i, i+1).
+	Acceptance [][]PairStat `json:"acceptance"`
+	// RoundTrips counts completed ladder round trips over all replicas;
+	// MeanRoundTripEvents is their mean duration in exchange events.
+	RoundTrips          int     `json:"round_trips"`
+	MeanRoundTripEvents float64 `json:"mean_round_trip_events"`
+	// FullTraversalFraction is the fraction of replicas that have
+	// visited both ends of the flattened ladder (end-to-end mixing).
+	FullTraversalFraction float64 `json:"full_traversal_fraction"`
+	// Slots is the current slot per replica; Traces the recent tail of
+	// each replica's slot walk.
+	Slots  []int   `json:"slots"`
+	Traces [][]int `json:"traces,omitempty"`
+	// MDExec and ExchangeOverhead are the rolling duration histograms
+	// (seconds).
+	MDExec           Histogram `json:"md_exec"`
+	ExchangeOverhead Histogram `json:"exchange_overhead"`
+	// BusDropped counts events this collector lost to ring overflow.
+	BusDropped uint64 `json:"bus_dropped"`
+}
+
+// Snapshot syncs the subscription and returns a deep copy of the
+// current statistics.
+func (c *Collector) Snapshot() Stats { return c.snapshot(true) }
+
+// SnapshotLite is Snapshot without the per-replica trace clones —
+// cheaper for readers that never render them (/status, /metrics scrape
+// this every few seconds).
+func (c *Collector) SnapshotLite() Stats { return c.snapshot(false) }
+
+func (c *Collector) snapshot(withTraces bool) Stats {
+	c.Sync()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Stats{
+		Events:     c.st.Events,
+		MDSegments: c.st.MDSegments,
+		MDFailures: c.st.MDFailures,
+		Faults:     map[string]uint64{},
+		Acceptance: make([][]PairStat, len(c.st.Pairs)),
+		Slots:      make([]int, len(c.st.Walks)),
+	}
+	if withTraces {
+		s.Traces = make([][]int, len(c.st.Walks))
+	}
+	for k, v := range c.st.Faults {
+		s.Faults[k] = v
+	}
+	for d, pairs := range c.st.Pairs {
+		s.Acceptance[d] = append([]PairStat(nil), pairs...)
+	}
+	seenBoth, tripEvents := 0, 0
+	for i := range c.st.Walks {
+		w := &c.st.Walks[i]
+		s.Slots[i] = w.Slot
+		if withTraces {
+			s.Traces[i] = append([]int(nil), w.Trace...)
+		}
+		s.RoundTrips += w.RoundTrips
+		tripEvents += w.TripEvents
+		if w.SeenBottom && w.SeenTop {
+			seenBoth++
+		}
+	}
+	if s.RoundTrips > 0 {
+		s.MeanRoundTripEvents = float64(tripEvents) / float64(s.RoundTrips)
+	}
+	if n := len(c.st.Walks); n > 0 {
+		s.FullTraversalFraction = float64(seenBoth) / float64(n)
+	}
+	s.MDExec = cloneHistogram(c.st.MDExec)
+	s.ExchangeOverhead = cloneHistogram(c.st.ExchangeOvh)
+	if c.sub != nil {
+		s.BusDropped = c.sub.Dropped()
+	}
+	return s
+}
+
+func cloneHistogram(h Histogram) Histogram {
+	h.Bounds = append([]float64(nil), h.Bounds...)
+	h.Counts = append([]uint64(nil), h.Counts...)
+	return h
+}
+
+// EncodeState syncs and serializes the full collector state for
+// embedding in a core.Snapshot (the Analysis field).
+func (c *Collector) EncodeState() ([]byte, error) {
+	c.Sync()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return json.Marshal(&c.st)
+}
+
+// SeedResume aligns a fresh collector with a resumed simulation whose
+// checkpoint carried no analysis state (e.g. one written without a
+// collector attached): the event clock continues from the snapshot's
+// counter and each walk starts from the snapshot's slot assignment
+// instead of the fresh-run identity. The pre-snapshot event stream is
+// genuinely lost, so acceptance ratios, round trips, traversal flags
+// and histograms cover the resumed portion only — callers should say
+// so.
+func (c *Collector) SeedResume(sn *core.Snapshot) error {
+	if len(sn.Replicas) != c.cfg.Replicas {
+		return fmt.Errorf("analysis: snapshot has %d replicas, collector %d",
+			len(sn.Replicas), c.cfg.Replicas)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.st.Events = sn.Events
+	for _, rs := range sn.Replicas {
+		if rs.ID < 0 || rs.ID >= len(c.st.Walks) {
+			continue
+		}
+		w := &c.st.Walks[rs.ID]
+		*w = walk{Slot: rs.Slot, StartEnd: -1}
+		c.touchEndpoint(w, sn.Events)
+	}
+	return nil
+}
+
+// Restore replaces the collector state with one serialized by
+// EncodeState; used when resuming a checkpointed run so post-resume
+// statistics continue from the pre-snapshot totals.
+func (c *Collector) Restore(data []byte) error {
+	var st state
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("analysis: decoding collector state: %v", err)
+	}
+	if len(st.Walks) != c.cfg.Replicas {
+		return fmt.Errorf("analysis: state has %d replicas, collector %d",
+			len(st.Walks), c.cfg.Replicas)
+	}
+	if len(st.Pairs) != len(c.cfg.DimSizes) {
+		return fmt.Errorf("analysis: state has %d dimensions, collector %d",
+			len(st.Pairs), len(c.cfg.DimSizes))
+	}
+	// Same rank and replica count do not imply the same grid: a 2x6
+	// checkpoint must not restore into a 3x4 collector.
+	for d, n := range c.cfg.DimSizes {
+		want := 0
+		if n > 1 {
+			want = n - 1
+		}
+		if len(st.Pairs[d]) != want {
+			return fmt.Errorf("analysis: state has %d pairs along dimension %d, collector ladder has %d windows",
+				len(st.Pairs[d]), d, n)
+		}
+	}
+	for i := range st.Walks {
+		if s := st.Walks[i].Slot; s < 0 || s >= c.cfg.Replicas {
+			return fmt.Errorf("analysis: state walk %d at slot %d, outside [0,%d)",
+				i, s, c.cfg.Replicas)
+		}
+	}
+	if st.Faults == nil {
+		st.Faults = map[string]uint64{}
+	}
+	c.mu.Lock()
+	c.st = st
+	c.mu.Unlock()
+	return nil
+}

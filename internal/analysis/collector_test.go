@@ -1,0 +1,440 @@
+package analysis_test
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/engines"
+	"repro/internal/exchange"
+	"repro/internal/pilot"
+	"repro/internal/sim"
+)
+
+func tremdSpec(n, cycles int) *core.Spec {
+	return &core.Spec{
+		Name:            "t-remd",
+		Dims:            []core.Dimension{{Type: exchange.Temperature, Values: core.GeometricTemperatures(273, 373, n)}},
+		Pattern:         core.PatternSynchronous,
+		CoresPerReplica: 1,
+		StepsPerCycle:   6000,
+		Cycles:          cycles,
+		Seed:            21,
+	}
+}
+
+func quietCluster() cluster.Config {
+	cfg := cluster.SuperMIC()
+	cfg.ExecJitter = 0
+	cfg.FailureProb = 0
+	return cfg
+}
+
+func runVirtual(t *testing.T, spec *core.Spec, cores int) *core.Report {
+	t.Helper()
+	env := sim.NewEnv()
+	cl := cluster.MustNew(env, quietCluster(), spec.Seed+1)
+	pl, err := pilot.Launch(cl, pilot.Description{Cores: cores})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engines.NewAmberVirtual(2881, spec.Seed+2)
+	var report *core.Report
+	var runErr error
+	env.Go("emm", func(p *sim.Proc) {
+		rt := pilot.NewRuntime(pl, p)
+		simu, err := core.New(spec, eng, rt)
+		if err != nil {
+			runErr = err
+			return
+		}
+		report, runErr = simu.Run()
+	})
+	env.Run()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	return report
+}
+
+// TestAcceptanceMatchesSlotHistoryRecomputation runs a virtual-engine
+// 1-D T-REMD simulation with the collector online and then recomputes
+// the per-pair acceptance statistics post hoc from the slot history
+// alone: replaying the alternating neighbour pairing over each
+// pre-event slot assignment and detecting accepted swaps from the slot
+// changes. Both views must agree exactly.
+func TestAcceptanceMatchesSlotHistoryRecomputation(t *testing.T) {
+	const n, cycles = 8, 6
+	spec := tremdSpec(n, cycles)
+	spec.Bus = core.NewBus()
+	col := analysis.New(analysis.ConfigFromSpec(spec))
+	col.Attach(spec.Bus, 1<<14)
+	rep := runVirtual(t, spec, n)
+	stats := col.Snapshot()
+
+	if stats.Events != rep.ExchangeEvents || stats.Events != cycles {
+		t.Fatalf("collector saw %d events, report %d, want %d",
+			stats.Events, rep.ExchangeEvents, cycles)
+	}
+
+	// Post-hoc recomputation. Replica i starts in slot i; for 1-D
+	// T-REMD event e the dispatcher pairs ladder neighbours with
+	// alternating parity (sweep = e) over the pre-event assignment.
+	attempted := make([]uint64, n-1)
+	accepted := make([]uint64, n-1)
+	prev := make([]int, n)
+	for i := range prev {
+		prev[i] = i
+	}
+	for e, row := range rep.SlotHistory {
+		bySlot := make([]int, n) // slot -> replica ID
+		for id, slot := range prev {
+			bySlot[slot] = id
+		}
+		for _, pr := range exchange.NeighborPairs(bySlot, e) {
+			lo := prev[pr.I]
+			if prev[pr.J] < lo {
+				lo = prev[pr.J]
+			}
+			attempted[lo]++
+			if row[pr.I] == prev[pr.J] && row[pr.J] == prev[pr.I] && row[pr.I] != prev[pr.I] {
+				accepted[lo]++
+			}
+		}
+		copy(prev, row)
+	}
+
+	if len(stats.Acceptance) != 1 || len(stats.Acceptance[0]) != n-1 {
+		t.Fatalf("acceptance shape %d dims, want 1 dim with %d pairs", len(stats.Acceptance), n-1)
+	}
+	totalAtt := uint64(0)
+	for i, ps := range stats.Acceptance[0] {
+		if ps.Attempted != attempted[i] || ps.Accepted != accepted[i] {
+			t.Fatalf("pair %d: collector %d/%d, slot-history recomputation %d/%d",
+				i, ps.Accepted, ps.Attempted, accepted[i], attempted[i])
+		}
+		totalAtt += ps.Attempted
+	}
+	if totalAtt == 0 {
+		t.Fatal("no exchange attempts recorded: the comparison is vacuous")
+	}
+}
+
+// exEvent builds a hand-crafted exchange event carrying only what the
+// walk tracker consumes.
+func exEvent(event int, slots []int) core.ExchangeEvent {
+	return core.ExchangeEvent{Event: event, Slots: slots}
+}
+
+// TestRoundTripTimesOnHandBuiltTrace drives the round-trip state
+// machine with a fully known walk: replica A does 0 -> 1 -> 2 -> 1 -> 0
+// on a 3-slot ladder, one complete round trip spanning 4 exchange
+// events.
+func TestRoundTripTimesOnHandBuiltTrace(t *testing.T) {
+	col := analysis.New(analysis.Config{DimSizes: []int{3}, Replicas: 3})
+	// Initial assignment (collector time 0): A=0 B=1 C=2.
+	walkA := [][]int{
+		{1, 0, 2}, // t=1: A leaves bottom
+		{2, 0, 1}, // t=2: A reaches top (armed)
+		{1, 0, 2}, // t=3: coming back
+		{0, 1, 2}, // t=4: A back at bottom -> round trip of 4 events
+	}
+	for e, slots := range walkA {
+		col.Apply(exEvent(e, slots))
+	}
+	st := col.Snapshot()
+	if st.RoundTrips != 1 {
+		t.Fatalf("round trips %d, want 1 (only A completed one)", st.RoundTrips)
+	}
+	if st.MeanRoundTripEvents != 4 {
+		t.Fatalf("mean round-trip %v events, want 4", st.MeanRoundTripEvents)
+	}
+	// A visited both endpoints; B never saw the top, C never the bottom.
+	if want := 1.0 / 3.0; st.FullTraversalFraction != want {
+		t.Fatalf("full-traversal fraction %v, want %v", st.FullTraversalFraction, want)
+	}
+	if st.Slots[0] != 0 || st.Slots[1] != 1 || st.Slots[2] != 2 {
+		t.Fatalf("final slots %v, want [0 1 2]", st.Slots)
+	}
+	if got := st.Traces[0]; !reflect.DeepEqual(got, []int{1, 2, 1, 0}) {
+		t.Fatalf("trace of replica 0 is %v, want [1 2 1 0]", got)
+	}
+}
+
+// TestRoundTripClockRestartsOnUnarmedRevisit pins the "last departure"
+// semantics: lingering at the starting endpoint must not inflate the
+// round-trip time.
+func TestRoundTripClockRestartsOnUnarmedRevisit(t *testing.T) {
+	col := analysis.New(analysis.Config{DimSizes: []int{3}, Replicas: 3})
+	steps := [][]int{
+		{0, 1, 2}, // t=1: A lingers at bottom (clock restarts)
+		{0, 1, 2}, // t=2: still lingering (clock restarts)
+		{1, 0, 2}, // t=3
+		{2, 0, 1}, // t=4: top, armed
+		{1, 0, 2}, // t=5
+		{0, 1, 2}, // t=6: round trip measured from t=2, not t=0
+	}
+	for e, slots := range steps {
+		col.Apply(exEvent(e, slots))
+	}
+	st := col.Snapshot()
+	if st.RoundTrips != 1 || st.MeanRoundTripEvents != 4 {
+		t.Fatalf("got %d trips, mean %v events; want 1 trip of 4 events (clock restarts at last departure)",
+			st.RoundTrips, st.MeanRoundTripEvents)
+	}
+}
+
+// TestCollectorStateSurvivesCheckpointRestart is the tentpole's
+// checkpoint acceptance criterion: on the barrier-trigger golden
+// workload, statistics from a run killed at its snapshot and resumed
+// must equal the uninterrupted run's statistics exactly.
+func TestCollectorStateSurvivesCheckpointRestart(t *testing.T) {
+	const n, cycles = 8, 4
+	mkSpec := func() *core.Spec { return tremdSpec(n, cycles) }
+
+	// Uninterrupted run, collector online the whole time; snapshots are
+	// captured with the collector state attached, exactly as cmd/repex
+	// writes them.
+	var snaps []*core.Snapshot
+	full := mkSpec()
+	full.Bus = core.NewBus()
+	colFull := analysis.New(analysis.ConfigFromSpec(full))
+	colFull.Attach(full.Bus, 1<<14)
+	full.SnapshotEvery = 2
+	full.OnSnapshot = func(sn *core.Snapshot) {
+		data, err := colFull.EncodeState()
+		if err != nil {
+			t.Errorf("encoding collector state: %v", err)
+			return
+		}
+		sn.Analysis = data
+		snaps = append(snaps, sn)
+	}
+	runVirtual(t, full, n)
+	if len(snaps) != 2 {
+		t.Fatalf("%d snapshots, want 2", len(snaps))
+	}
+	fullStats := colFull.Snapshot()
+
+	// Kill + restart from the first snapshot (event 2), round-tripping
+	// the snapshot through its serialized form.
+	data, err := snaps[0].Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := core.DecodeSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Analysis) == 0 {
+		t.Fatal("snapshot lost the embedded analysis state")
+	}
+	resumed := mkSpec()
+	resumed.Resume = snap
+	resumed.Bus = core.NewBus()
+	colResumed := analysis.New(analysis.ConfigFromSpec(resumed))
+	if err := colResumed.Restore(snap.Analysis); err != nil {
+		t.Fatal(err)
+	}
+	colResumed.Attach(resumed.Bus, 1<<14)
+	runVirtual(t, resumed, n)
+	resumedStats := colResumed.Snapshot()
+
+	// Histogram sums accumulate wall-time differences whose floating-
+	// point rounding depends on the absolute time base, and a resumed
+	// run's clock is offset by a fresh batch-queue wait — so the sums
+	// may differ in the last ulp. Everything else must match bit-for-
+	// bit: compare with the sums zeroed, then the sums with tolerance.
+	checkSum := func(name string, a, b float64) {
+		t.Helper()
+		if diff := a - b; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("%s histogram sum diverged: full %v, resumed %v", name, a, b)
+		}
+	}
+	checkSum("md_exec", fullStats.MDExec.Sum, resumedStats.MDExec.Sum)
+	checkSum("exchange_overhead", fullStats.ExchangeOverhead.Sum, resumedStats.ExchangeOverhead.Sum)
+	fullStats.MDExec.Sum, resumedStats.MDExec.Sum = 0, 0
+	fullStats.ExchangeOverhead.Sum, resumedStats.ExchangeOverhead.Sum = 0, 0
+	a, err := json.Marshal(fullStats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(resumedStats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("resumed statistics diverged from the uninterrupted run:\nfull    %s\nresumed %s", a, b)
+	}
+	if resumedStats.Events != cycles {
+		t.Fatalf("resumed collector saw %d events, want %d", resumedStats.Events, cycles)
+	}
+}
+
+// TestGapPairsExcludedFromNeighbourStats: an attempt bridging a dead
+// replica's window (Hi > Lo+1) must not pollute the (Lo, Lo+1) ratio.
+func TestGapPairsExcludedFromNeighbourStats(t *testing.T) {
+	col := analysis.New(analysis.Config{DimSizes: []int{4}, Replicas: 4})
+	col.Apply(core.ExchangeEvent{
+		Event: 0, Dim: 0,
+		Pairs: []core.PairOutcome{
+			{Lo: 0, Hi: 1, ReplicaI: 0, ReplicaJ: 1, Accepted: true},
+			{Lo: 1, Hi: 3, ReplicaI: 1, ReplicaJ: 3, Accepted: true}, // window 2 dead
+		},
+		Slots: []int{1, 0, 2, 3},
+	})
+	st := col.Snapshot()
+	if st.Acceptance[0][0].Attempted != 1 || st.Acceptance[0][0].Accepted != 1 {
+		t.Fatalf("pair (0,1) stats %+v, want 1/1", st.Acceptance[0][0])
+	}
+	for _, i := range []int{1, 2} {
+		if st.Acceptance[0][i].Attempted != 0 {
+			t.Fatalf("gap attempt (1,3) leaked into neighbour pair %d: %+v", i, st.Acceptance[0][i])
+		}
+	}
+}
+
+// TestRunBufferCoversWholeRun: a collector sized by RunBuffer and
+// drained only at the end must lose nothing.
+func TestRunBufferCoversWholeRun(t *testing.T) {
+	spec := tremdSpec(8, 6)
+	if n := analysis.RunBuffer(spec); n < 8*6*2 {
+		t.Fatalf("RunBuffer %d below the run's segment count", n)
+	}
+	spec.Bus = core.NewBus()
+	col := analysis.New(analysis.ConfigFromSpec(spec))
+	col.Attach(spec.Bus, analysis.RunBuffer(spec))
+	runVirtual(t, spec, 8)
+	st := col.Snapshot()
+	if st.BusDropped != 0 {
+		t.Fatalf("RunBuffer-sized collector dropped %d events", st.BusDropped)
+	}
+	if uint64(st.MDSegments+st.Events) != spec.Bus.Published() {
+		t.Fatalf("collector saw %d events, bus published %d",
+			st.MDSegments+st.Events, spec.Bus.Published())
+	}
+}
+
+// TestRestoreShrinksOversizedTraces: a trace restored from a collector
+// with a larger TraceLen must converge back to this collector's cap
+// instead of growing without bound.
+func TestRestoreShrinksOversizedTraces(t *testing.T) {
+	big := analysis.New(analysis.Config{DimSizes: []int{3}, Replicas: 3, TraceLen: 8})
+	rows := [][]int{{1, 0, 2}, {2, 0, 1}, {1, 0, 2}, {0, 1, 2}, {1, 0, 2}, {2, 0, 1}}
+	for e, slots := range rows {
+		big.Apply(exEvent(e, slots))
+	}
+	data, err := big.EncodeState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := analysis.New(analysis.Config{DimSizes: []int{3}, Replicas: 3, TraceLen: 4})
+	if err := small.Restore(data); err != nil {
+		t.Fatal(err)
+	}
+	small.Apply(exEvent(6, []int{1, 0, 2}))
+	small.Apply(exEvent(7, []int{0, 1, 2}))
+	for id, tr := range small.Snapshot().Traces {
+		if len(tr) > 4 {
+			t.Fatalf("replica %d trace grew to %d entries past the cap of 4: %v", id, len(tr), tr)
+		}
+	}
+	// The tail is the most recent slots.
+	if got := small.Snapshot().Traces[0]; got[len(got)-1] != 0 || got[len(got)-2] != 1 {
+		t.Fatalf("trace tail %v does not end with the latest slots", got)
+	}
+}
+
+// TestSeedResumeUsesSnapshotBaseline: resuming without embedded
+// analysis state must baseline walks at the checkpoint's slot
+// assignment and event counter, not the fresh-run identity.
+func TestSeedResumeUsesSnapshotBaseline(t *testing.T) {
+	col := analysis.New(analysis.Config{DimSizes: []int{3}, Replicas: 3})
+	sn := &core.Snapshot{
+		Events: 10,
+		Replicas: []core.ReplicaState{
+			{ID: 0, Slot: 2}, {ID: 1, Slot: 0}, {ID: 2, Slot: 1},
+		},
+	}
+	if err := col.SeedResume(sn); err != nil {
+		t.Fatal(err)
+	}
+	st := col.Snapshot()
+	if st.Events != 10 {
+		t.Fatalf("seeded event clock %d, want 10", st.Events)
+	}
+	if st.Slots[0] != 2 || st.Slots[1] != 0 || st.Slots[2] != 1 {
+		t.Fatalf("seeded slots %v, want snapshot assignment [2 0 1]", st.Slots)
+	}
+	// Replica 0 starts at the top post-seed; walking it to the bottom
+	// and back must count one round trip timed from the seed point.
+	col.Apply(exEvent(10, []int{1, 0, 2})) // t=11
+	col.Apply(exEvent(11, []int{0, 1, 2})) // t=12: bottom (armed... no—opposite)
+	col.Apply(exEvent(12, []int{1, 0, 2})) // t=13
+	col.Apply(exEvent(13, []int{2, 0, 1})) // t=14: back at top -> round trip
+	st = col.Snapshot()
+	if st.RoundTrips != 1 || st.MeanRoundTripEvents != 4 {
+		t.Fatalf("post-seed walk: %d trips, mean %v; want 1 trip of 4 events (10->14)",
+			st.RoundTrips, st.MeanRoundTripEvents)
+	}
+	// Wrong replica count is rejected.
+	if err := col.SeedResume(&core.Snapshot{Replicas: make([]core.ReplicaState, 5)}); err == nil {
+		t.Fatal("snapshot with 5 replicas seeded a 3-replica collector")
+	}
+}
+
+// TestRelaunchExecFeedsHistogram: every MD attempt's execution time is
+// observed exactly once — relaunched attempts via their FaultEvent,
+// final results via MDEvent — while the segment/failure counters track
+// final results only.
+func TestRelaunchExecFeedsHistogram(t *testing.T) {
+	col := analysis.New(analysis.Config{DimSizes: []int{3}, Replicas: 3})
+	col.Apply(core.FaultEvent{Replica: 0, Kind: core.FaultKindRelaunch, Retries: 1, Exec: 50})
+	col.Apply(core.FaultEvent{Replica: 0, Kind: core.FaultKindResourceLost, Retries: 1, Exec: 20})
+	col.Apply(core.MDEvent{Replica: 0, Cycle: 1, Exec: 100})
+	col.Apply(core.MDEvent{Replica: 1, Cycle: 1, Exec: 110, Failed: true}) // terminal: dropped
+	col.Apply(core.FaultEvent{Replica: 1, Kind: core.FaultKindDrop, Retries: 3})
+	st := col.Snapshot()
+	if st.MDExec.Count != 4 {
+		t.Fatalf("histogram observed %d attempts, want 4 (2 relaunched + 2 final)", st.MDExec.Count)
+	}
+	if st.MDExec.Sum != 50+20+100+110 {
+		t.Fatalf("histogram sum %v, want 280", st.MDExec.Sum)
+	}
+	if st.MDSegments != 2 || st.MDFailures != 1 {
+		t.Fatalf("segments/failures %d/%d, want 2/1 (final results only)", st.MDSegments, st.MDFailures)
+	}
+	if st.Faults[core.FaultKindRelaunch] != 1 || st.Faults[core.FaultKindDrop] != 1 {
+		t.Fatalf("fault counts %v", st.Faults)
+	}
+}
+
+// TestRestoreRejectsMismatchedState guards resume against stale or
+// foreign collector state.
+func TestRestoreRejectsMismatchedState(t *testing.T) {
+	col := analysis.New(analysis.Config{DimSizes: []int{4}, Replicas: 4})
+	other := analysis.New(analysis.Config{DimSizes: []int{6}, Replicas: 6})
+	data, err := other.EncodeState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Restore(data); err == nil {
+		t.Fatal("state from a 6-replica run restored into a 4-replica collector")
+	}
+	if err := col.Restore([]byte("{trunc")); err == nil {
+		t.Fatal("truncated state accepted")
+	}
+	// Same rank and replica count, different grid shape: 2x6 vs 3x4.
+	grid26 := analysis.New(analysis.Config{DimSizes: []int{2, 6}, Replicas: 12})
+	grid34 := analysis.New(analysis.Config{DimSizes: []int{3, 4}, Replicas: 12})
+	shaped, err := grid26.EncodeState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := grid34.Restore(shaped); err == nil {
+		t.Fatal("2x6 state restored into a 3x4 collector")
+	}
+}

@@ -30,6 +30,10 @@ type RunParams struct {
 	NewEngine func(seed int64) core.Engine
 	// Seed for cluster jitter and fault draws.
 	Seed int64
+	// OnStart, when set, receives the constructed simulation right
+	// before it runs (cmd/repex uses it to flip its live status
+	// endpoint to "running" once the replica set exists).
+	OnStart func(*core.Simulation)
 }
 
 // Run executes a simulation to completion in virtual time.
@@ -53,6 +57,9 @@ func Run(p RunParams) (*core.Report, error) {
 		if err != nil {
 			runErr = err
 			return
+		}
+		if p.OnStart != nil {
+			p.OnStart(simu)
 		}
 		report, runErr = simu.Run()
 	})

@@ -39,6 +39,17 @@ type Simulation struct {
 	AsyncWindowSec  float64 `json:"async_window_sec,omitempty"`
 	AsyncMinReady   int     `json:"async_min_ready,omitempty"`
 	Seed            int64   `json:"seed,omitempty"`
+	// Serve optionally enables the live observability HTTP server of
+	// cmd/repex (GET /status, /stats, /metrics). The -listen flag
+	// overrides it.
+	Serve *Serve `json:"serve,omitempty"`
+}
+
+// Serve configures the observability endpoint.
+type Serve struct {
+	// Listen is the host:port to bind (e.g. "127.0.0.1:8080"; port 0
+	// picks a free port).
+	Listen string `json:"listen"`
 }
 
 // Dim is one exchange dimension. Either Values is given explicitly, or
@@ -99,6 +110,9 @@ func ParseSimulation(data []byte) (*Simulation, error) {
 	case "amber", "amber-pmemd", "namd":
 	default:
 		return nil, fmt.Errorf("config: unknown engine %q", s.Engine)
+	}
+	if s.Serve != nil && s.Serve.Listen == "" {
+		return nil, fmt.Errorf("config: serve block requires a listen address (host:port)")
 	}
 	if _, err := s.ToSpec(); err != nil {
 		return nil, err

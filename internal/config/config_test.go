@@ -206,3 +206,32 @@ func TestParseResourceErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestParseSimulationServeBlock(t *testing.T) {
+	s, err := ParseSimulation([]byte(`{
+		"name": "observed", "cores_per_replica": 1, "steps_per_cycle": 100, "cycles": 1,
+		"dimensions": [{"type": "T", "count": 4, "min": 273, "max": 373}],
+		"serve": {"listen": "127.0.0.1:9100"}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Serve == nil || s.Serve.Listen != "127.0.0.1:9100" {
+		t.Fatalf("serve block %+v, want listen 127.0.0.1:9100", s.Serve)
+	}
+	// The serve block is a cmd/repex concern; the core spec is unchanged.
+	if _, err := s.ToSpec(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServeBlockRequiresListen(t *testing.T) {
+	_, err := ParseSimulation([]byte(`{
+		"name": "observed", "cores_per_replica": 1, "steps_per_cycle": 100, "cycles": 1,
+		"dimensions": [{"type": "T", "count": 4, "min": 273, "max": 373}],
+		"serve": {}
+	}`))
+	if err == nil {
+		t.Fatal("serve block without a listen address accepted")
+	}
+}

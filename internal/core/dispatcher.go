@@ -65,6 +65,8 @@ func (s *Simulation) dispatch(tr Trigger) error {
 		owner   = make(map[task.Handle]*mdFlight, len(s.replicas))
 		batch   []*mdFlight // aligned: this round's flights in submission order
 		ready   []*Replica  // non-aligned: processed replicas awaiting exchange
+		next    []*Replica  // fire-time resubmission set, reused across rounds
+		free    []*mdFlight // free list: absorbed flights are recycled
 		readyB  int         // ready replicas with budget left
 		pending int         // outstanding MD tasks
 		done    int         // completed-but-unprocessed tasks (aligned)
@@ -76,6 +78,24 @@ func (s *Simulation) dispatch(tr Trigger) error {
 		roundT0 float64     // round start (before MD preparation)
 		mdStart float64     // first MD submission of the current round
 	)
+
+	// newFlight and freeFlight recycle mdFlight structs: the dispatcher
+	// creates one per MD segment, which at production replica counts is
+	// the dominant per-event allocation (ROADMAP: dispatcher allocation
+	// pressure).
+	newFlight := func(r *Replica) *mdFlight {
+		if n := len(free) - 1; n >= 0 {
+			f := free[n]
+			free = free[:n]
+			*f = mdFlight{r: r, dim: dim}
+			return f
+		}
+		return &mdFlight{r: r, dim: dim}
+	}
+	freeFlight := func(f *mdFlight) {
+		*f = mdFlight{}
+		free = append(free, f)
+	}
 
 	// absorb processes one completed MD segment, tracking deaths.
 	absorb := func(r *Replica, res task.Result, phase *PhaseRecord) {
@@ -111,7 +131,7 @@ func (s *Simulation) dispatch(tr Trigger) error {
 		prep += p
 		mdStart = s.rt.Now()
 		for _, r := range rs {
-			f := &mdFlight{r: r, dim: dim}
+			f := newFlight(r)
 			f.h = s.rt.SubmitWatched(s.engine.MDTask(r, spec, dim))
 			owner[f.h] = f
 			pending++
@@ -128,18 +148,25 @@ func (s *Simulation) dispatch(tr Trigger) error {
 	// separate per-segment cap, since they are the infrastructure's
 	// fault, not the replica's.
 	relaunch := func(f *mdFlight, res task.Result) bool {
+		kind, retries := "", 0
 		switch {
 		case errors.Is(res.Err, task.ErrResourceLost):
 			if f.infra >= spec.MaxRetries {
 				return false
 			}
 			f.infra++
+			kind, retries = FaultKindResourceLost, f.infra
 		case spec.FaultPolicy == FaultRelaunch && f.r.Retries < spec.MaxRetries:
 			f.r.Retries++
+			kind, retries = FaultKindRelaunch, f.r.Retries
 		default:
 			return false
 		}
 		s.report.Relaunches++
+		if spec.Bus != nil {
+			spec.Bus.Publish(FaultEvent{At: s.rt.Now(), Replica: f.r.ID,
+				Kind: kind, Retries: retries, Exec: res.Exec})
+		}
 		// The failed attempt is charged to the round it happened in.
 		mdAccum.absorb(res)
 		s.report.MDExecCoreSeconds += res.Exec * float64(res.Spec.Cores)
@@ -193,6 +220,7 @@ func (s *Simulation) dispatch(tr Trigger) error {
 						readyB++
 					}
 				}
+				freeFlight(f)
 			}
 
 		case TriggerFireAtDeadline:
@@ -210,6 +238,7 @@ func (s *Simulation) dispatch(tr Trigger) error {
 				prep = 0
 				for _, f := range batch {
 					absorb(f.r, f.h.Result(), &rec.MD)
+					freeFlight(f)
 				}
 				batch = batch[:0]
 				done = 0
@@ -223,6 +252,7 @@ func (s *Simulation) dispatch(tr Trigger) error {
 				s.report.Records = append(s.report.Records, rec)
 				s.report.ExchangeEvents++
 				s.snapshotSlots()
+				s.publishExchange(event, cycle, dim, &rec)
 				if alive < 2 {
 					return fmt.Errorf("core: fewer than two replicas alive after cycle %d", cycle)
 				}
@@ -246,6 +276,7 @@ func (s *Simulation) dispatch(tr Trigger) error {
 				s.report.Records = append(s.report.Records, rec)
 				s.report.ExchangeEvents++
 				s.snapshotSlots()
+				s.publishExchange(event, event, dim, &rec)
 				event++
 				dim = event % ndims
 			}
@@ -254,7 +285,7 @@ func (s *Simulation) dispatch(tr Trigger) error {
 			}
 
 			// Replicas with budget left go back to MD; the rest are done.
-			var next []*Replica
+			next = next[:0]
 			if aligned {
 				for _, r := range s.replicas {
 					if r.Alive && r.Cycle < segBudget {
@@ -365,6 +396,19 @@ func (s *Simulation) exchangePhase(participants []*Replica, d, sweep int, rec *C
 		s.rngDraws += int64(len(pairs)) // Sweep draws one uniform per pair
 		for _, dec := range exchange.Sweep(pairs, probs, s.rng) {
 			rec.Attempted++
+			if s.spec.Bus != nil {
+				// Captured before applySwap: Lo/Hi are the partners'
+				// window indices along d at decision time.
+				ci := s.coordAlong(s.replicas[dec.I].Slot, d)
+				cj := s.coordAlong(s.replicas[dec.J].Slot, d)
+				out := PairOutcome{Lo: ci, Hi: cj, ReplicaI: dec.I, ReplicaJ: dec.J,
+					Accepted: dec.Accepted}
+				if out.Lo > out.Hi {
+					out.Lo, out.Hi = out.Hi, out.Lo
+					out.ReplicaI, out.ReplicaJ = out.ReplicaJ, out.ReplicaI
+				}
+				s.pairScratch = append(s.pairScratch, out)
+			}
 			if dec.Accepted {
 				rec.Accepted++
 				s.applySwap(s.replicas[dec.I], s.replicas[dec.J])

@@ -1,0 +1,133 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+func TestBusRingOverflowDropsOldest(t *testing.T) {
+	bus := core.NewBus()
+	sub := bus.Subscribe(4)
+	for i := 0; i < 10; i++ {
+		bus.Publish(core.MDEvent{At: float64(i), Replica: i})
+	}
+	got := sub.Drain(nil)
+	if len(got) != 4 {
+		t.Fatalf("drained %d events from a 4-slot ring, want 4", len(got))
+	}
+	for i, ev := range got {
+		if ev.(core.MDEvent).Replica != 6+i {
+			t.Fatalf("event %d is replica %d, want %d (oldest must be dropped first)",
+				i, ev.(core.MDEvent).Replica, 6+i)
+		}
+	}
+	if sub.Dropped() != 6 {
+		t.Fatalf("dropped %d, want 6", sub.Dropped())
+	}
+	if bus.Published() != 10 {
+		t.Fatalf("published %d, want 10", bus.Published())
+	}
+	if again := sub.Drain(nil); len(again) != 0 {
+		t.Fatalf("second drain returned %d events, want 0", len(again))
+	}
+}
+
+// TestStalledSubscriberDoesNotPerturbGoldenRun is the non-blocking
+// guarantee of the event bus: a subscriber that never drains its
+// (tiny) ring must not change the golden BarrierTrigger output in any
+// way — same exchanges, same makespan, same slot history.
+func TestStalledSubscriberDoesNotPerturbGoldenRun(t *testing.T) {
+	spec := goldenTREMDSpec()
+	spec.Bus = core.NewBus()
+	sub := spec.Bus.Subscribe(2) // deliberately stalled: never drained
+	rep := runVirtual(t, spec, cluster.SuperMIC(), 8, 2881)
+
+	att, acc := sumExchanges(rep)
+	if att != 14 || acc != 5 {
+		t.Fatalf("exchanges %d/%d with stalled subscriber, golden 5/14", acc, att)
+	}
+	if math.Abs(rep.Makespan()-625.788863) > 1e-4 {
+		t.Fatalf("makespan %.6f with stalled subscriber, golden 625.788863", rep.Makespan())
+	}
+	if fp := historyFingerprint(rep.SlotHistory); fp != 0xc1c22324216858e1 {
+		t.Fatalf("slot-history fingerprint %#x with stalled subscriber, golden 0xc1c22324216858e1", fp)
+	}
+	if sub.Dropped() == 0 {
+		t.Fatal("stalled 2-slot subscriber dropped nothing: the stall was not exercised")
+	}
+}
+
+func TestBusDeliversEventStream(t *testing.T) {
+	spec := smallTREMD(8, 3)
+	spec.Bus = core.NewBus()
+	sub := spec.Bus.Subscribe(4096)
+	rep := runVirtual(t, spec, quietCluster(), 8, 2881)
+
+	var mds, exs int
+	var lastEx core.ExchangeEvent
+	nextEvent := 0
+	for _, ev := range sub.Drain(nil) {
+		switch e := ev.(type) {
+		case core.MDEvent:
+			mds++
+			if e.Failed {
+				t.Fatalf("failed MD event on a quiet cluster: %+v", e)
+			}
+		case core.ExchangeEvent:
+			if e.Event != nextEvent {
+				t.Fatalf("exchange event index %d, want %d (sequential)", e.Event, nextEvent)
+			}
+			nextEvent++
+			exs++
+			lastEx = e
+		case core.FaultEvent:
+			t.Fatalf("fault event on a quiet cluster: %+v", e)
+		}
+	}
+	wantMD := 0
+	for _, rec := range rep.Records {
+		wantMD += rec.MD.Tasks
+	}
+	if mds != wantMD {
+		t.Fatalf("%d MD events, want %d (one per processed segment)", mds, wantMD)
+	}
+	if exs != rep.ExchangeEvents {
+		t.Fatalf("%d exchange events, want %d", exs, rep.ExchangeEvents)
+	}
+	// The final event's slots are the final slot assignment, and its
+	// pair outcomes sum to the record's counts.
+	final := rep.SlotHistory[len(rep.SlotHistory)-1]
+	for i, slot := range lastEx.Slots {
+		if slot != final[i] {
+			t.Fatalf("final exchange event slots %v, history row %v", lastEx.Slots, final)
+		}
+	}
+	att, acc := 0, 0
+	for _, p := range lastEx.Pairs {
+		if p.Hi != p.Lo+1 {
+			t.Fatalf("pair %+v not adjacent with all replicas alive", p)
+		}
+		att++
+		if p.Accepted {
+			acc++
+		}
+	}
+	lastRec := rep.Records[len(rep.Records)-1]
+	if att != lastRec.Attempted || acc != lastRec.Accepted {
+		t.Fatalf("final event pairs %d/%d, record %d/%d", acc, att, lastRec.Accepted, lastRec.Attempted)
+	}
+}
+
+func TestNoBusMeansNoPublications(t *testing.T) {
+	// A nil Spec.Bus must be completely inert (and Published on a nil
+	// bus must be safe for status readers).
+	var b *core.Bus
+	if b.Published() != 0 {
+		t.Fatal("nil bus reports publications")
+	}
+	spec := smallTREMD(4, 2)
+	runVirtual(t, spec, quietCluster(), 4, 2881) // would panic on a nil-deref
+}

@@ -25,7 +25,13 @@ type Simulation struct {
 	// pure function of the grid shape, so recomputing it on every
 	// exchange event (hot for asynchronous triggers) would be waste.
 	slotGroups [][][]int
-	rng        *rand.Rand
+	// dimStride caches the row-major stride of each dimension for O(1)
+	// slot-to-window-index conversion when publishing pair outcomes.
+	dimStride []int
+	// pairScratch accumulates the current exchange event's pair outcomes
+	// for the event bus (nil while no bus is attached).
+	pairScratch []PairOutcome
+	rng         *rand.Rand
 	// rngDraws counts uniforms consumed from rng, so a Snapshot can
 	// restore the exact RNG state by replaying the draw count.
 	rngDraws int64
@@ -68,6 +74,12 @@ func New(spec *Spec, engine Engine, rt task.Runtime) (*Simulation, error) {
 	s.slotGroups = make([][][]int, len(spec.Dims))
 	for d := range spec.Dims {
 		s.slotGroups[d] = grid.GroupsAlong(d)
+	}
+	s.dimStride = make([]int, len(spec.Dims))
+	stride := 1
+	for d := len(spec.Dims) - 1; d >= 0; d-- {
+		s.dimStride[d] = stride
+		stride *= len(spec.Dims[d].Values)
 	}
 	for i := 0; i < n; i++ {
 		r := &Replica{
@@ -169,10 +181,42 @@ func (s *Simulation) finishMD(r *Replica, res task.Result, phase *PhaseRecord) {
 	if res.Failed() {
 		r.Alive = false
 		s.report.Dropped++
+		if s.spec.Bus != nil {
+			s.spec.Bus.Publish(MDEvent{At: s.rt.Now(), Replica: r.ID, Cycle: r.Cycle,
+				Exec: res.Exec, Failed: true})
+			s.spec.Bus.Publish(FaultEvent{At: s.rt.Now(), Replica: r.ID,
+				Kind: FaultKindDrop, Retries: r.Retries})
+		}
 		return
 	}
 	r.Cycle++
 	r.Energy = s.engine.OwnEnergy(r)
+	if s.spec.Bus != nil {
+		s.spec.Bus.Publish(MDEvent{At: s.rt.Now(), Replica: r.ID, Cycle: r.Cycle,
+			Exec: res.Exec})
+	}
+}
+
+// coordAlong returns slot's window index along dimension d.
+func (s *Simulation) coordAlong(slot, d int) int {
+	return slot / s.dimStride[d] % len(s.spec.Dims[d].Values)
+}
+
+// publishExchange emits the ExchangeEvent record of the exchange event
+// that just completed; called by the dispatcher right after
+// snapshotSlots, so Slots shares the freshly appended history row.
+func (s *Simulation) publishExchange(event, cycle, dim int, rec *CycleRecord) {
+	if s.spec.Bus == nil {
+		return
+	}
+	pairs := s.pairScratch
+	s.pairScratch = nil
+	var row []int
+	if n := len(s.report.SlotHistory); n > 0 {
+		row = s.report.SlotHistory[n-1]
+	}
+	s.spec.Bus.Publish(ExchangeEvent{At: s.rt.Now(), Event: event, Cycle: cycle,
+		Dim: dim, Pairs: pairs, Slots: row, MDWall: rec.MD.Wall, EXWall: rec.EX.Wall})
 }
 
 // pairProbability computes the Metropolis acceptance probability for

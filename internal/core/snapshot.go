@@ -45,6 +45,10 @@ type Snapshot struct {
 	Dropped           int     `json:"dropped"`
 	Relaunches        int     `json:"relaunches"`
 	MDExecCoreSeconds float64 `json:"md_exec_core_seconds"`
+	// Analysis is the serialized state of an online-analysis collector
+	// (internal/analysis), attached by the OnSnapshot callback so
+	// exchange statistics survive checkpoint/restart. Opaque to core.
+	Analysis json.RawMessage `json:"analysis,omitempty"`
 }
 
 // ReplicaState is the serializable state of one replica.

@@ -201,6 +201,11 @@ type Spec struct {
 	// synthetic coordinates and RNG state are restored in New, and the
 	// dispatcher continues from the snapshot's exchange-event counter.
 	Resume *Snapshot
+	// Bus, when non-nil, receives typed MDEvent/ExchangeEvent/FaultEvent
+	// records as the run progresses (see events.go). Publication is
+	// non-blocking — a slow or stalled subscriber never affects the
+	// dispatcher — so attaching a bus cannot change simulation results.
+	Bus *Bus
 }
 
 // triggerPolicy resolves the exchange-trigger policy: Spec.Trigger when
@@ -217,6 +222,18 @@ func (s *Spec) triggerPolicy() (Trigger, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown pattern %d", s.Pattern)
 	}
+}
+
+// TriggerName returns the name of the exchange-trigger policy the spec
+// selects — Spec.Trigger when set, otherwise the pattern's canonical
+// policy — or "" for an invalid pattern. Status surfaces use it so the
+// pattern-to-policy mapping lives only in triggerPolicy.
+func (s *Spec) TriggerName() string {
+	tr, err := s.triggerPolicy()
+	if err != nil {
+		return ""
+	}
+	return tr.Name()
 }
 
 // Grid returns the replica grid implied by the dimensions.

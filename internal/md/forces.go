@@ -78,6 +78,11 @@ func (p Params) Clone() Params {
 type State struct {
 	Pos []Vec3
 	Vel []Vec3
+	// chargeBuf is scratch for pH-effective charges. It lives on the
+	// State — owned by a single replica's MD task at a time — rather
+	// than on the System, which is shared by concurrently integrating
+	// replicas and must stay read-only during force evaluation.
+	chargeBuf []float64
 }
 
 // NewState allocates a zeroed state for n atoms.
@@ -117,8 +122,6 @@ type System struct {
 	Box Box
 	// Cutoff is the nonbonded cutoff in Å; 0 disables truncation.
 	Cutoff float64
-	// chargeBuf is scratch for pH-effective charges.
-	chargeBuf []float64
 }
 
 // NewSystem validates the topology and returns a system.
@@ -326,8 +329,13 @@ func (s *System) nonbondedForces(st *State, prm Params, f []Vec3) (lj, coul floa
 	top := s.Top
 	n := top.N()
 	kappa := prm.Kappa()
-	charges := top.effectiveCharges(prm, s.chargeBuf)
-	s.chargeBuf = charges
+	// nil unless titration applies; static charges are read per atom
+	// below. The scratch lives on the per-replica State because the
+	// System is shared by concurrently running replicas.
+	charges := top.effectiveCharges(prm, st.chargeBuf)
+	if charges != nil {
+		st.chargeBuf = charges
+	}
 	rc := s.Cutoff
 	rc2 := rc * rc
 	for i := 0; i < n; i++ {
@@ -372,7 +380,11 @@ func (s *System) nonbondedForces(st *State, prm Params, f []Vec3) (lj, coul floa
 				dEdR += scale * 4 * eps * (-12*sr12 + 6*sr6) / r
 			}
 			// Debye–Hückel screened Coulomb with pH-effective charges.
-			qq := charges[i] * charges[j]
+			qi, qj := ai.Charge, aj.Charge
+			if charges != nil {
+				qi, qj = charges[i], charges[j]
+			}
+			qq := qi * qj
 			if qq != 0 {
 				base := CoulombK * qq / r
 				screen := 1.0

@@ -48,11 +48,17 @@ func (s TitratableSite) SelfFreeEnergy(pH, tK float64) float64 {
 }
 
 // effectiveCharges returns the per-atom charge vector under the given
-// parameters: static charges with titratable sites replaced by their
-// pH-dependent mean-field values. When the topology has no titratable
-// sites or the pH is unset (<= 0), the static charges are returned
-// as-is.
+// parameters — static charges with titratable sites replaced by their
+// pH-dependent mean-field values — or nil when no titration applies
+// (no titratable sites, or pH unset), in which case callers read the
+// static charges directly. buf is caller-owned scratch (grown as
+// needed): force evaluations run concurrently for different replicas
+// sharing one topology, so the scratch must never live on shared
+// structure.
 func (t *Topology) effectiveCharges(prm Params, buf []float64) []float64 {
+	if prm.PH <= 0 || len(t.Titratable) == 0 {
+		return nil
+	}
 	n := t.N()
 	if cap(buf) < n {
 		buf = make([]float64, n)
@@ -61,10 +67,8 @@ func (t *Topology) effectiveCharges(prm Params, buf []float64) []float64 {
 	for i := range buf {
 		buf[i] = t.Atoms[i].Charge
 	}
-	if prm.PH > 0 {
-		for _, s := range t.Titratable {
-			buf[s.Atom] = s.EffectiveCharge(prm.PH)
-		}
+	for _, s := range t.Titratable {
+		buf[s.Atom] = s.EffectiveCharge(prm.PH)
 	}
 	return buf
 }

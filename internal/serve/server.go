@@ -1,0 +1,246 @@
+// Package serve exposes a running REMD simulation over HTTP: run state,
+// online exchange statistics and Prometheus metrics. It reads only from
+// thread-safe sources (an analysis.Collector and a caller-supplied
+// status function), so serving live traffic never perturbs the
+// simulation — the dispatcher publishes to the event bus without
+// blocking, and the collector syncs on demand.
+//
+// Endpoints:
+//
+//	GET /status   JSON run state (trigger, cycles, faults, bus counters)
+//	GET /stats    JSON analysis.Stats (acceptance ratios, round trips,
+//	              mixing, overhead histograms)
+//	GET /metrics  Prometheus text exposition (version 0.0.4)
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/analysis"
+)
+
+// RunStatus is the /status payload.
+type RunStatus struct {
+	Name    string `json:"name"`
+	Engine  string `json:"engine"`
+	Trigger string `json:"trigger"`
+	// State is "pending", "running", "completed" or "failed".
+	State    string `json:"state"`
+	Replicas int    `json:"replicas"`
+	Cores    int    `json:"cores"`
+	// CyclesTarget is the configured cycle budget.
+	CyclesTarget int `json:"cycles_target"`
+	// ExchangeEvents and MDSegments mirror the collector's counters.
+	ExchangeEvents int `json:"exchange_events"`
+	MDSegments     int `json:"md_segments"`
+	// Faults counts fault-handling actions by kind (relaunch,
+	// resource-lost, drop).
+	Faults map[string]uint64 `json:"faults"`
+	// BusPublished/BusDropped are event-bus delivery counters.
+	BusPublished uint64 `json:"bus_published"`
+	BusDropped   uint64 `json:"bus_dropped"`
+	// Error carries the failure message when State is "failed".
+	Error string `json:"error,omitempty"`
+}
+
+// Server serves the observability endpoints for one run.
+type Server struct {
+	col    *analysis.Collector
+	status func() RunStatus
+	mux    *http.ServeMux
+	lis    net.Listener
+	srv    *http.Server
+}
+
+// New builds a server over a collector and a status source. Either may
+// be nil: a nil collector serves empty statistics, a nil status function
+// an empty status.
+func New(col *analysis.Collector, status func() RunStatus) *Server {
+	s := &Server{col: col, status: status, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/status", s.handleStatus)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// Handler exposes the route table (used by tests and embedders).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr (host:port; port 0 picks a free one) and serves
+// in a background goroutine. It returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("serve: %v", err)
+	}
+	s.lis = lis
+	// The port stays open for the whole (possibly multi-day) run, so
+	// bound header reads and idle keep-alives: a client trickling bytes
+	// must not pin goroutines and fds on the monitoring port.
+	s.srv = &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	go func() { _ = s.srv.Serve(lis) }()
+	return lis.Addr().String(), nil
+}
+
+// Close stops the listener.
+func (s *Server) Close() error {
+	if s.srv != nil {
+		return s.srv.Close()
+	}
+	return nil
+}
+
+// snapshot takes the single per-request collector snapshot (empty when
+// no collector is attached). /status and /metrics never render the
+// per-replica traces, so they take the lite variant.
+func (s *Server) snapshot(withTraces bool) analysis.Stats {
+	if s.col == nil {
+		return analysis.Stats{}
+	}
+	if withTraces {
+		return s.col.Snapshot()
+	}
+	return s.col.SnapshotLite()
+}
+
+// runStatusFrom merges the caller's status view with the counters of an
+// already-taken collector snapshot, so one request observes one instant.
+func (s *Server) runStatusFrom(stats *analysis.Stats) RunStatus {
+	var st RunStatus
+	if s.status != nil {
+		st = s.status()
+	}
+	if st.Faults == nil {
+		st.Faults = map[string]uint64{}
+	}
+	if s.col != nil {
+		st.ExchangeEvents = stats.Events
+		st.MDSegments = stats.MDSegments
+		for k, v := range stats.Faults {
+			st.Faults[k] = v
+		}
+		st.BusDropped = stats.BusDropped
+	}
+	return st
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	stats := s.snapshot(false)
+	writeJSON(w, s.runStatusFrom(&stats))
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.snapshot(true))
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	stats := s.snapshot(false)
+	st := s.runStatusFrom(&stats)
+
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
+			name, help, name, name, fmtFloat(v))
+	}
+
+	running := 0.0
+	if st.State == "running" {
+		running = 1
+	}
+	gauge("repex_running", "1 while the simulation is executing.", running)
+	gauge("repex_replicas", "Configured replica count.", float64(st.Replicas))
+	counter("repex_exchange_events_total", "Exchange events completed.", uint64(stats.Events))
+	counter("repex_md_segments_total", "MD segments finally processed.", uint64(stats.MDSegments))
+	counter("repex_md_failures_total", "MD segments that failed terminally.", uint64(stats.MDFailures))
+
+	fmt.Fprintf(&b, "# HELP repex_fault_events_total Fault-handling actions by kind.\n")
+	fmt.Fprintf(&b, "# TYPE repex_fault_events_total counter\n")
+	kinds := make([]string, 0, len(st.Faults))
+	for k := range st.Faults {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "repex_fault_events_total{kind=%q} %d\n", k, st.Faults[k])
+	}
+
+	fmt.Fprintf(&b, "# HELP repex_pair_attempts_total Exchange attempts per neighbour pair.\n")
+	fmt.Fprintf(&b, "# TYPE repex_pair_attempts_total counter\n")
+	for d, pairs := range stats.Acceptance {
+		for i, p := range pairs {
+			fmt.Fprintf(&b, "repex_pair_attempts_total{dim=\"%d\",pair=\"%d\"} %d\n", d, i, p.Attempted)
+		}
+	}
+	fmt.Fprintf(&b, "# HELP repex_pair_accepts_total Accepted exchanges per neighbour pair.\n")
+	fmt.Fprintf(&b, "# TYPE repex_pair_accepts_total counter\n")
+	for d, pairs := range stats.Acceptance {
+		for i, p := range pairs {
+			fmt.Fprintf(&b, "repex_pair_accepts_total{dim=\"%d\",pair=\"%d\"} %d\n", d, i, p.Accepted)
+		}
+	}
+	fmt.Fprintf(&b, "# HELP repex_pair_acceptance_ratio Acceptance ratio per neighbour pair.\n")
+	fmt.Fprintf(&b, "# TYPE repex_pair_acceptance_ratio gauge\n")
+	for d, pairs := range stats.Acceptance {
+		for i, p := range pairs {
+			fmt.Fprintf(&b, "repex_pair_acceptance_ratio{dim=\"%d\",pair=\"%d\"} %s\n",
+				d, i, fmtFloat(p.Ratio()))
+		}
+	}
+
+	counter("repex_round_trips_total", "Completed ladder round trips over all replicas.",
+		uint64(stats.RoundTrips))
+	gauge("repex_round_trip_events_mean", "Mean round-trip duration in exchange events.",
+		stats.MeanRoundTripEvents)
+	gauge("repex_full_traversal_fraction",
+		"Fraction of replicas that visited both ladder endpoints.",
+		stats.FullTraversalFraction)
+
+	histogram(&b, "repex_md_exec_seconds", "MD segment execution time.", stats.MDExec)
+	histogram(&b, "repex_exchange_wall_seconds", "Exchange phase wall time.", stats.ExchangeOverhead)
+
+	counter("repex_bus_published_total", "Events published on the bus.", st.BusPublished)
+	counter("repex_bus_dropped_total", "Events the collector lost to ring overflow.",
+		stats.BusDropped)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// histogram renders one Prometheus histogram: cumulative buckets with an
+// le label, then _sum and _count.
+func histogram(b *strings.Builder, name, help string, h analysis.Histogram) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	cum := uint64(0)
+	for i, bound := range h.Bounds {
+		if i < len(h.Counts) {
+			cum += h.Counts[i]
+		}
+		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, fmtFloat(bound), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+	fmt.Fprintf(b, "%s_sum %s\n", name, fmtFloat(h.Sum))
+	fmt.Fprintf(b, "%s_count %d\n", name, h.Count)
+}
+
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -1,0 +1,192 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+// seededCollector returns a collector fed a small synthetic event
+// stream: two MD completions, one relaunch and one exchange event.
+func seededCollector() *analysis.Collector {
+	col := analysis.New(analysis.Config{DimSizes: []int{4}, Replicas: 4})
+	col.Apply(core.MDEvent{At: 10, Replica: 0, Cycle: 1, Exec: 120})
+	col.Apply(core.MDEvent{At: 11, Replica: 1, Cycle: 1, Exec: 125})
+	col.Apply(core.FaultEvent{At: 12, Replica: 2, Kind: core.FaultKindRelaunch, Retries: 1, Exec: 80})
+	col.Apply(core.ExchangeEvent{
+		At: 15, Event: 0, Dim: 0,
+		Pairs: []core.PairOutcome{
+			{Lo: 0, Hi: 1, ReplicaI: 0, ReplicaJ: 1, Accepted: true},
+			{Lo: 2, Hi: 3, ReplicaI: 2, ReplicaJ: 3, Accepted: false},
+		},
+		Slots:  []int{1, 0, 2, 3},
+		EXWall: 2.5,
+	})
+	return col
+}
+
+func testServer(t *testing.T) (*httptest.Server, *analysis.Collector) {
+	t.Helper()
+	col := seededCollector()
+	s := serve.New(col, func() serve.RunStatus {
+		return serve.RunStatus{Name: "unit", Engine: "amber", Trigger: "barrier",
+			State: "running", Replicas: 4, Cores: 4, CyclesTarget: 2, BusPublished: 4}
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts, col
+}
+
+func get(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	var b strings.Builder
+	buf := make([]byte, 1<<16)
+	for {
+		n, err := resp.Body.Read(buf)
+		b.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return []byte(b.String())
+}
+
+func TestStatusEndpoint(t *testing.T) {
+	ts, _ := testServer(t)
+	var st serve.RunStatus
+	if err := json.Unmarshal(get(t, ts.URL+"/status"), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "running" || st.Name != "unit" || st.Trigger != "barrier" {
+		t.Fatalf("status %+v", st)
+	}
+	// Collector counters are merged into the status view.
+	if st.ExchangeEvents != 1 || st.MDSegments != 2 {
+		t.Fatalf("status counters events=%d segments=%d, want 1/2", st.ExchangeEvents, st.MDSegments)
+	}
+	if st.Faults[core.FaultKindRelaunch] != 1 {
+		t.Fatalf("status faults %v, want one relaunch", st.Faults)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts, col := testServer(t)
+	var stats analysis.Stats
+	if err := json.Unmarshal(get(t, ts.URL+"/stats"), &stats); err != nil {
+		t.Fatal(err)
+	}
+	want := col.Snapshot()
+	if stats.Events != want.Events || stats.MDSegments != want.MDSegments {
+		t.Fatalf("stats %+v, collector %+v", stats, want)
+	}
+	if stats.Acceptance[0][0].Accepted != 1 || stats.Acceptance[0][2].Attempted != 1 {
+		t.Fatalf("acceptance %v", stats.Acceptance)
+	}
+	if stats.Slots[0] != 1 || stats.Slots[1] != 0 {
+		t.Fatalf("slots %v, want post-exchange assignment", stats.Slots)
+	}
+}
+
+// metricLine matches one Prometheus sample line (metric name, optional
+// labels, float value).
+var metricLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (NaN|[+-]?Inf|[-+]?[0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?)$`)
+
+func TestMetricsEndpointWellFormed(t *testing.T) {
+	ts, _ := testServer(t)
+	body := string(get(t, ts.URL+"/metrics"))
+	if !strings.HasSuffix(body, "\n") {
+		t.Fatal("exposition must end with a newline")
+	}
+	typed := map[string]string{}
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			typed[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !metricLine.MatchString(line) {
+			t.Fatalf("malformed sample line %q", line)
+		}
+	}
+	for _, m := range []string{
+		"repex_exchange_events_total", "repex_md_segments_total",
+		"repex_pair_acceptance_ratio", "repex_md_exec_seconds",
+		"repex_exchange_wall_seconds", "repex_bus_dropped_total",
+	} {
+		if _, ok := typed[m]; !ok {
+			t.Fatalf("metric %s missing a TYPE declaration", m)
+		}
+	}
+	if typed["repex_md_exec_seconds"] != "histogram" {
+		t.Fatalf("repex_md_exec_seconds typed %q, want histogram", typed["repex_md_exec_seconds"])
+	}
+
+	// Histogram buckets must be cumulative and capped by the +Inf
+	// bucket, which must equal _count.
+	bucket := regexp.MustCompile(`^repex_md_exec_seconds_bucket\{le="([^"]+)"\} ([0-9]+)$`)
+	last := int64(-1)
+	infSeen := false
+	var inf, count int64
+	for _, line := range strings.Split(body, "\n") {
+		if m := bucket.FindStringSubmatch(line); m != nil {
+			v, _ := strconv.ParseInt(m[2], 10, 64)
+			if v < last {
+				t.Fatalf("bucket counts not cumulative at %q", line)
+			}
+			last = v
+			if m[1] == "+Inf" {
+				infSeen = true
+				inf = v
+			}
+		}
+		if strings.HasPrefix(line, "repex_md_exec_seconds_count ") {
+			count, _ = strconv.ParseInt(strings.Fields(line)[1], 10, 64)
+		}
+	}
+	if !infSeen {
+		t.Fatal("no +Inf bucket")
+	}
+	// 2 final MD results + 1 relaunched attempt.
+	if inf != count || count != 3 {
+		t.Fatalf("+Inf bucket %d, _count %d, want both 3", inf, count)
+	}
+}
+
+func TestServerStartAndClose(t *testing.T) {
+	s := serve.New(nil, nil)
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	resp, err := http.Get("http://" + addr + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("nil-source /status returned %d", resp.StatusCode)
+	}
+}

@@ -140,6 +140,30 @@ type (
 // DecodeSnapshot parses a snapshot produced by Snapshot.Encode.
 func DecodeSnapshot(data []byte) (*Snapshot, error) { return core.DecodeSnapshot(data) }
 
+// Observability: Spec.Bus receives typed MDEvent/ExchangeEvent/
+// FaultEvent records as a run progresses. Publication is non-blocking
+// (bounded per-subscriber rings), so consumers — internal/analysis's
+// online Collector, internal/serve's HTTP status server, or custom
+// code — can never stall the dispatcher.
+type (
+	// Bus is the typed event bus the dispatcher publishes on.
+	Bus = core.Bus
+	// Subscription is one consumer's bounded view of the bus.
+	Subscription = core.Subscription
+	// MDEvent records one finally-processed MD segment.
+	MDEvent = core.MDEvent
+	// ExchangeEvent records one exchange event's pair outcomes and the
+	// post-event slot assignment.
+	ExchangeEvent = core.ExchangeEvent
+	// FaultEvent records one fault-handling action.
+	FaultEvent = core.FaultEvent
+	// PairOutcome is one attempted neighbour exchange.
+	PairOutcome = core.PairOutcome
+)
+
+// NewBus returns an empty event bus for Spec.Bus.
+func NewBus() *Bus { return core.NewBus() }
+
 // GeometricTemperatures builds the standard T-REMD ladder.
 func GeometricTemperatures(lo, hi float64, n int) []float64 {
 	return core.GeometricTemperatures(lo, hi, n)
