@@ -1,0 +1,267 @@
+// Command benchcheck is the CI perf-regression gate for the dispatcher
+// benchmarks: it parses `go test -json -bench` output, extracts a
+// per-benchmark metric (default ns/completion, the dispatcher's
+// per-event cost), takes the median over the -count repetitions and
+// compares it against a committed baseline file.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'BenchmarkDispatcher$|BenchmarkDispatcherBus$' \
+//	    -benchtime 10x -count 5 -json . > BENCH_dispatcher.json
+//	benchcheck -baseline BENCH_baseline.json -bench BENCH_dispatcher.json
+//
+// The gate fails (exit 1) when any baseline benchmark's median regresses
+// by more than the threshold (default 15%), or disappears from the run.
+// Intentional regressions update the baseline in the same change:
+//
+//	benchcheck -bench BENCH_dispatcher.json -write BENCH_baseline.json
+//
+// Baselines are machine-specific: regenerate with -write when the CI
+// runner class changes. The GOMAXPROCS suffix (-8) is stripped from
+// benchmark names so a baseline survives runner core-count changes.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the committed reference: median metric value per
+// benchmark, plus the metric and threshold they were captured for.
+type Baseline struct {
+	// Metric is the benchmark unit gated on (e.g. "ns/completion").
+	Metric string `json:"metric"`
+	// Threshold is the relative regression that fails the gate (0.15 =
+	// +15%).
+	Threshold float64 `json:"threshold"`
+	// Benchmarks maps benchmark name (GOMAXPROCS suffix stripped) to
+	// the median metric value.
+	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
+// testEvent is the subset of `go test -json` events we consume.
+type testEvent struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// gomaxprocsSuffix strips the trailing -N goroutine-count suffix Go
+// appends to benchmark names.
+var gomaxprocsSuffix = regexp.MustCompile(`-[0-9]+$`)
+
+// parseBench extracts, for every benchmark result line in a
+// `go test -json` stream, the values reported under the given metric
+// unit, keyed by benchmark name. `-count N` yields N values per name.
+//
+// The -json encoder splits one benchmark result line across several
+// output events (the name in one, the values in the next), so the text
+// stream is reassembled per package before line parsing. Plain (non
+// -json) benchmark logs pass through the same path.
+func parseBench(r io.Reader, metric string) (map[string][]float64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var pkgs []string
+	streams := map[string]*strings.Builder{}
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev testEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			// Tolerate a plain benchmark log (non -json runs) too.
+			ev = testEvent{Action: "output", Output: string(line) + "\n"}
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		b := streams[ev.Package]
+		if b == nil {
+			b = &strings.Builder{}
+			streams[ev.Package] = b
+			pkgs = append(pkgs, ev.Package)
+		}
+		b.WriteString(ev.Output)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	out := map[string][]float64{}
+	for _, pkg := range pkgs {
+		for _, text := range strings.Split(streams[pkg].String(), "\n") {
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, "Benchmark") {
+				continue
+			}
+			fields := strings.Fields(text)
+			if len(fields) < 3 {
+				continue
+			}
+			name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+			// Result fields after the iteration count come in value/unit
+			// pairs: "123.4 ns/op 567.8 ns/completion ...".
+			for i := 2; i+1 < len(fields); i += 2 {
+				if fields[i+1] != metric {
+					continue
+				}
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("benchcheck: %s: bad %s value %q", name, metric, fields[i])
+				}
+				out[name] = append(out[name], v)
+			}
+		}
+	}
+	return out, nil
+}
+
+// median returns the median of vs (which must be non-empty).
+func median(vs []float64) float64 {
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// gate compares current medians against the baseline and returns the
+// per-benchmark report lines plus the names that breached the
+// threshold. Benchmarks present in the baseline but missing from the
+// run also fail: a silently skipped benchmark is not a pass.
+func gate(base *Baseline, cur map[string][]float64, threshold float64) (report []string, failed []string) {
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ref := base.Benchmarks[name]
+		vs, ok := cur[name]
+		if !ok || len(vs) == 0 {
+			report = append(report, fmt.Sprintf("FAIL %-44s baseline %.1f, missing from this run", name, ref))
+			failed = append(failed, name)
+			continue
+		}
+		med := median(vs)
+		delta := (med - ref) / ref
+		verdict := "ok  "
+		if delta > threshold {
+			verdict = "FAIL"
+			failed = append(failed, name)
+		}
+		report = append(report, fmt.Sprintf("%s %-44s baseline %10.1f  median %10.1f  (%+.1f%%, n=%d)",
+			verdict, name, ref, med, 100*delta, len(vs)))
+	}
+	var extra []string
+	for name := range cur {
+		if _, ok := base.Benchmarks[name]; !ok {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		report = append(report, fmt.Sprintf("note %-44s median %10.1f (not in baseline; add with -write)",
+			name, median(cur[name])))
+	}
+	return report, failed
+}
+
+func run() error {
+	baselinePath := flag.String("baseline", "", "committed baseline JSON to gate against")
+	benchPath := flag.String("bench", "", "go test -json benchmark output (required; - for stdin)")
+	metric := flag.String("metric", "ns/completion", "benchmark unit to gate on")
+	threshold := flag.Float64("threshold", 0, "relative regression failing the gate (0 uses the baseline's, default 0.15)")
+	writePath := flag.String("write", "", "write a fresh baseline to this path instead of gating")
+	flag.Parse()
+	if *benchPath == "" || (*baselinePath == "" && *writePath == "") {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	in := io.Reader(os.Stdin)
+	if *benchPath != "-" {
+		f, err := os.Open(*benchPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	cur, err := parseBench(in, *metric)
+	if err != nil {
+		return err
+	}
+	if len(cur) == 0 {
+		return fmt.Errorf("benchcheck: no %q samples found in %s", *metric, *benchPath)
+	}
+
+	if *writePath != "" {
+		th := *threshold
+		if th == 0 {
+			th = 0.15
+		}
+		base := Baseline{Metric: *metric, Threshold: th, Benchmarks: map[string]float64{}}
+		for name, vs := range cur {
+			base.Benchmarks[name] = median(vs)
+		}
+		data, err := json.MarshalIndent(&base, "", " ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*writePath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %d benchmarks, metric %s, threshold %.0f%%\n",
+			*writePath, len(base.Benchmarks), *metric, 100*th)
+		return nil
+	}
+
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		return err
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("benchcheck: parsing baseline %s: %v", *baselinePath, err)
+	}
+	if base.Metric != "" && base.Metric != *metric {
+		return fmt.Errorf("benchcheck: baseline gates %q, run parsed %q", base.Metric, *metric)
+	}
+	th := *threshold
+	if th == 0 {
+		th = base.Threshold
+	}
+	if th == 0 {
+		th = 0.15
+	}
+
+	report, failed := gate(&base, cur, th)
+	for _, line := range report {
+		fmt.Println(line)
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("benchcheck: %d benchmark(s) regressed beyond %.0f%%: %s (update %s with -write if intentional)",
+			len(failed), 100*th, strings.Join(failed, ", "), *baselinePath)
+	}
+	fmt.Printf("benchcheck: %d benchmarks within %.0f%% of baseline\n", len(base.Benchmarks), 100*th)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// sampleStream mimics real `go test -json -bench` output, including
+// the encoder's habit of splitting one benchmark result line across
+// two output events (name+tab first, values after).
+const sampleStream = `{"Action":"start","Package":"repro"}
+{"Action":"output","Package":"repro","Output":"goos: linux\n"}
+{"Action":"output","Package":"repro","Test":"BenchmarkDispatcher/64/barrier","Output":"BenchmarkDispatcher/64/barrier-8 \t"}
+{"Action":"output","Package":"repro","Output":"      10\t  52000 ns/op\t  11000 ns/completion\n"}
+{"Action":"output","Package":"repro","Output":"BenchmarkDispatcher/64/barrier-8 \t      10\t  53000 ns/op\t  12000 ns/completion\n"}
+{"Action":"output","Package":"repro","Output":"BenchmarkDispatcher/64/barrier-8 \t"}
+{"Action":"output","Package":"repro","Output":"      10\t  51000 ns/op\t  10000 ns/completion\n"}
+{"Action":"output","Package":"repro","Output":"BenchmarkDispatcherBus/64/window-8 \t      10\t  60000 ns/op\t  13000 ns/completion\n"}
+{"Action":"output","Package":"repro","Output":"PASS\n"}
+{"Action":"pass","Package":"repro"}
+`
+
+func parse(t *testing.T, stream, metric string) map[string][]float64 {
+	t.Helper()
+	got, err := parseBench(strings.NewReader(stream), metric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestParseBenchExtractsMetricPerBenchmark(t *testing.T) {
+	got := parse(t, sampleStream, "ns/completion")
+	vs := got["BenchmarkDispatcher/64/barrier"]
+	if len(vs) != 3 {
+		t.Fatalf("parsed %d repetitions, want 3 (got %v)", len(vs), got)
+	}
+	if m := median(vs); m != 11000 {
+		t.Fatalf("median %v, want 11000", m)
+	}
+	if len(got["BenchmarkDispatcherBus/64/window"]) != 1 {
+		t.Fatalf("bus benchmark missing: %v", got)
+	}
+	// The GOMAXPROCS suffix must be stripped so baselines survive
+	// runner core-count changes.
+	for name := range got {
+		if strings.HasSuffix(name, "-8") {
+			t.Fatalf("GOMAXPROCS suffix kept in %q", name)
+		}
+	}
+	if ops := parse(t, sampleStream, "ns/op"); median(ops["BenchmarkDispatcher/64/barrier"]) != 52000 {
+		t.Fatalf("ns/op extraction broken: %v", ops)
+	}
+}
+
+func TestGateFailsOnRegressionAndMissing(t *testing.T) {
+	base := &Baseline{
+		Metric:    "ns/completion",
+		Threshold: 0.15,
+		Benchmarks: map[string]float64{
+			"BenchmarkDispatcher/64/barrier":   10000, // current median 11000: +10%, passes
+			"BenchmarkDispatcherBus/64/window": 10000, // current 13000: +30%, fails
+			"BenchmarkDispatcher/256/barrier":  9000,  // absent from the run: fails
+		},
+	}
+	cur := parse(t, sampleStream, "ns/completion")
+	_, failed := gate(base, cur, base.Threshold)
+	if len(failed) != 2 {
+		t.Fatalf("failed %v, want the regressed and the missing benchmark", failed)
+	}
+
+	// Same data under a generous threshold: only the missing benchmark
+	// can still fail.
+	_, failed = gate(base, cur, 10)
+	if len(failed) != 1 || failed[0] != "BenchmarkDispatcher/256/barrier" {
+		t.Fatalf("failed %v, want only the missing benchmark", failed)
+	}
+
+	// Inverted (negative) threshold: everything present must fail —
+	// the synthetic-regression check for the CI gate itself.
+	_, failed = gate(base, cur, -1)
+	if len(failed) != 3 {
+		t.Fatalf("inverted threshold failed %v, want all three", failed)
+	}
+}
+
+func TestMedianEvenCount(t *testing.T) {
+	if m := median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Fatalf("median %v, want 2.5", m)
+	}
+}

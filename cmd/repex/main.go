@@ -20,8 +20,11 @@
 //	}
 //
 // The optional "trigger" field ("barrier", "window", "count",
-// "adaptive", with "trigger_count" / "async_window_sec" as parameters)
-// selects an exchange-trigger policy beyond the two canonical patterns.
+// "adaptive", "feedback", with "trigger_count" / "async_window_sec" /
+// "target_acceptance" / "window_events" as parameters) selects an
+// exchange-trigger policy beyond the two canonical patterns; the
+// -trigger, -target-acceptance and -window-events flags override the
+// file.
 //
 // and the resource file internal/config.Resource:
 //
@@ -64,18 +67,30 @@ func main() {
 	ckptPath := flag.String("checkpoint", "", "snapshot file to write checkpoints to")
 	ckptEvery := flag.Int("checkpoint-every", 1, "exchange events between checkpoints")
 	listen := flag.String("listen", "", "host:port for the live status server (overrides the sim file's serve block)")
+	trigger := flag.String("trigger", "", "exchange-trigger policy override: barrier, window, count, adaptive or feedback")
+	targetAcc := flag.Float64("target-acceptance", 0, "feedback trigger acceptance set point in [0,1); 0 keeps the sim file's value or the built-in default (requires the feedback trigger)")
+	windowEvents := flag.Int("window-events", 0, "rolling-window depth for pair statistics and the feedback trigger (overrides the sim file)")
 	flag.Parse()
 	if *simPath == "" || *resPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*simPath, *resPath, *resumePath, *ckptPath, *ckptEvery, *listen); err != nil {
+	ov := overrides{trigger: *trigger, targetAcceptance: *targetAcc, windowEvents: *windowEvents}
+	if err := run(*simPath, *resPath, *resumePath, *ckptPath, *ckptEvery, *listen, ov); err != nil {
 		fmt.Fprintln(os.Stderr, "repex:", err)
 		os.Exit(1)
 	}
 }
 
-func run(simPath, resPath, resumePath, ckptPath string, ckptEvery int, listen string) error {
+// overrides are the command-line knobs that take precedence over the
+// simulation file's trigger fields.
+type overrides struct {
+	trigger          string
+	targetAcceptance float64
+	windowEvents     int
+}
+
+func run(simPath, resPath, resumePath, ckptPath string, ckptEvery int, listen string, ov overrides) error {
 	simData, err := os.ReadFile(simPath)
 	if err != nil {
 		return err
@@ -87,6 +102,15 @@ func run(simPath, resPath, resumePath, ckptPath string, ckptEvery int, listen st
 	simFile, err := config.ParseSimulation(simData)
 	if err != nil {
 		return err
+	}
+	if ov.trigger != "" {
+		simFile.Trigger = ov.trigger
+	}
+	if ov.targetAcceptance != 0 {
+		simFile.TargetAcceptance = ov.targetAcceptance
+	}
+	if ov.windowEvents != 0 {
+		simFile.WindowEvents = ov.windowEvents
 	}
 	spec, err := simFile.ToSpec()
 	if err != nil {
@@ -113,6 +137,14 @@ func run(simPath, resPath, resumePath, ckptPath string, ckptEvery int, listen st
 	if listen == "" && simFile.Serve != nil {
 		listen = simFile.Serve.Listen
 	}
+	// window_events parameterizes the feedback controller and the
+	// collector's rolling statistics; with neither in play it is dead
+	// configuration worth flagging (target_acceptance on a non-feedback
+	// trigger is rejected outright by the config layer).
+	if simFile.WindowEvents != 0 && spec.TriggerName() != "feedback" &&
+		listen == "" && ckptPath == "" {
+		fmt.Fprintln(os.Stderr, "repex: warning: window_events is set but nothing consumes it (no feedback trigger, no -listen, no -checkpoint)")
+	}
 
 	// The event bus and collector power both the live endpoints and the
 	// checkpoint-embedded statistics; without either consumer the run
@@ -120,7 +152,9 @@ func run(simPath, resPath, resumePath, ckptPath string, ckptEvery int, listen st
 	var col *analysis.Collector
 	if listen != "" || ckptPath != "" {
 		spec.Bus = core.NewBus()
-		col = analysis.New(analysis.ConfigFromSpec(spec))
+		colCfg := analysis.ConfigFromSpec(spec)
+		colCfg.WindowEvents = simFile.WindowEvents
+		col = analysis.New(colCfg)
 		col.Attach(spec.Bus, analysis.RunBuffer(spec))
 		if spec.Resume != nil {
 			if len(spec.Resume.Analysis) > 0 {
@@ -238,6 +272,20 @@ func run(simPath, resPath, resumePath, ckptPath string, ckptEvery int, listen st
 		stats := col.Snapshot()
 		fmt.Printf("mixing: %d round trips (mean %.1f events), %.0f%% of replicas traversed the full ladder\n",
 			stats.RoundTrips, stats.MeanRoundTripEvents, 100*stats.FullTraversalFraction)
+		for d, pairs := range stats.AcceptanceWindow {
+			var attempted uint64
+			for _, p := range pairs {
+				attempted += p.Attempted
+			}
+			// A dimension with no buffered outcomes (single window, or
+			// no attempts yet) has no ratio — 0.0% would read as
+			// collapsed acceptance.
+			if attempted == 0 {
+				continue
+			}
+			fmt.Printf("  dim %d rolling acceptance (last <=%d outcomes/pair): %.1f%%\n",
+				d, stats.WindowEvents, 100*analysis.WeightedRatio(pairs))
+		}
 		if stats.BusDropped > 0 {
 			fmt.Fprintf(os.Stderr, "repex: warning: collector lost %d events to ring overflow; statistics are partial\n",
 				stats.BusDropped)

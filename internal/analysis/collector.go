@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/ring"
 )
 
 // Config sizes a Collector for one simulation.
@@ -32,10 +33,19 @@ type Config struct {
 	// TraceLen bounds the per-replica slot-trace tail kept for
 	// inspection (default 64; snapshots grow with it).
 	TraceLen int
+	// WindowEvents is the rolling-window depth of the per-pair
+	// acceptance statistics: the last WindowEvents outcomes of each
+	// neighbour pair (default DefaultWindowEvents). Cumulative ratios
+	// answer "how did the run go"; windowed ratios answer "how is it
+	// going right now" — the signal a feedback trigger consumes.
+	WindowEvents int
 	// SecondsBounds are the histogram bucket upper bounds for the MD and
 	// exchange overhead histograms (default DefaultSecondsBounds).
 	SecondsBounds []float64
 }
+
+// DefaultWindowEvents is the default rolling-window depth per pair.
+const DefaultWindowEvents = 64
 
 // ConfigFromSpec derives the collector configuration from a simulation
 // spec.
@@ -65,6 +75,13 @@ func (p PairStat) Ratio() float64 {
 		return 0
 	}
 	return float64(p.Accepted) / float64(p.Attempted)
+}
+
+// windowStat summarizes one pair's rolling window as a PairStat
+// (attempted = buffered outcomes). The window itself is the shared
+// ring.Bool, the same structure core.FeedbackTrigger measures on.
+func windowStat(r *ring.Bool) PairStat {
+	return PairStat{Attempted: uint64(r.N), Accepted: uint64(r.Accepted)}
 }
 
 // Histogram is a fixed-bound histogram in the Prometheus style: Counts
@@ -131,6 +148,7 @@ type state struct {
 	MDFailures  int               `json:"md_failures"`
 	Faults      map[string]uint64 `json:"faults"`
 	Pairs       [][]PairStat      `json:"pairs"`
+	PairWindows [][]ring.Bool     `json:"pair_windows,omitempty"`
 	Walks       []walk            `json:"walks"`
 	MDExec      Histogram         `json:"md_exec"`
 	ExchangeOvh Histogram         `json:"exchange_overhead"`
@@ -154,6 +172,9 @@ func New(cfg Config) *Collector {
 	if cfg.TraceLen <= 0 {
 		cfg.TraceLen = 64
 	}
+	if cfg.WindowEvents <= 0 {
+		cfg.WindowEvents = DefaultWindowEvents
+	}
 	if len(cfg.SecondsBounds) == 0 {
 		cfg.SecondsBounds = DefaultSecondsBounds
 	}
@@ -161,6 +182,7 @@ func New(cfg Config) *Collector {
 	c.st = state{
 		Faults:      map[string]uint64{},
 		Pairs:       make([][]PairStat, len(cfg.DimSizes)),
+		PairWindows: make([][]ring.Bool, len(cfg.DimSizes)),
 		Walks:       make([]walk, cfg.Replicas),
 		MDExec:      NewHistogram(cfg.SecondsBounds),
 		ExchangeOvh: NewHistogram(cfg.SecondsBounds),
@@ -168,6 +190,7 @@ func New(cfg Config) *Collector {
 	for d, n := range cfg.DimSizes {
 		if n > 1 {
 			c.st.Pairs[d] = make([]PairStat, n-1)
+			c.st.PairWindows[d] = make([]ring.Bool, n-1)
 		}
 	}
 	for i := range c.st.Walks {
@@ -273,6 +296,7 @@ func (c *Collector) applyExchange(e core.ExchangeEvent) {
 			if p.Accepted {
 				ps.Accepted++
 			}
+			c.st.PairWindows[e.Dim][p.Lo].Push(p.Accepted, c.cfg.WindowEvents)
 		}
 	}
 	c.st.ExchangeOvh.Observe(e.EXWall)
@@ -344,6 +368,12 @@ type Stats struct {
 	// Acceptance holds, per dimension, the per-neighbour-pair exchange
 	// statistics: entry i covers the pair of windows (i, i+1).
 	Acceptance [][]PairStat `json:"acceptance"`
+	// AcceptanceWindow is the rolling-window counterpart of Acceptance:
+	// the same pair layout, restricted to each pair's last WindowEvents
+	// outcomes (Attempted is the number of outcomes currently buffered).
+	AcceptanceWindow [][]PairStat `json:"acceptance_window"`
+	// WindowEvents is the configured rolling-window depth.
+	WindowEvents int `json:"window_events"`
 	// RoundTrips counts completed ladder round trips over all replicas;
 	// MeanRoundTripEvents is their mean duration in exchange events.
 	RoundTrips          int     `json:"round_trips"`
@@ -377,12 +407,14 @@ func (c *Collector) snapshot(withTraces bool) Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	s := Stats{
-		Events:     c.st.Events,
-		MDSegments: c.st.MDSegments,
-		MDFailures: c.st.MDFailures,
-		Faults:     map[string]uint64{},
-		Acceptance: make([][]PairStat, len(c.st.Pairs)),
-		Slots:      make([]int, len(c.st.Walks)),
+		Events:           c.st.Events,
+		MDSegments:       c.st.MDSegments,
+		MDFailures:       c.st.MDFailures,
+		Faults:           map[string]uint64{},
+		Acceptance:       make([][]PairStat, len(c.st.Pairs)),
+		AcceptanceWindow: make([][]PairStat, len(c.st.Pairs)),
+		WindowEvents:     c.cfg.WindowEvents,
+		Slots:            make([]int, len(c.st.Walks)),
 	}
 	if withTraces {
 		s.Traces = make([][]int, len(c.st.Walks))
@@ -392,6 +424,13 @@ func (c *Collector) snapshot(withTraces bool) Stats {
 	}
 	for d, pairs := range c.st.Pairs {
 		s.Acceptance[d] = append([]PairStat(nil), pairs...)
+		if len(pairs) > 0 {
+			ws := make([]PairStat, len(pairs))
+			for i := range c.st.PairWindows[d] {
+				ws[i] = windowStat(&c.st.PairWindows[d][i])
+			}
+			s.AcceptanceWindow[d] = ws
+		}
 	}
 	seenBoth, tripEvents := 0, 0
 	for i := range c.st.Walks {
@@ -478,6 +517,10 @@ func (c *Collector) Restore(data []byte) error {
 		return fmt.Errorf("analysis: state has %d dimensions, collector %d",
 			len(st.Pairs), len(c.cfg.DimSizes))
 	}
+	if st.PairWindows != nil && len(st.PairWindows) != len(st.Pairs) {
+		return fmt.Errorf("analysis: state has %d pair-window dimensions, %d pair dimensions",
+			len(st.PairWindows), len(st.Pairs))
+	}
 	// Same rank and replica count do not imply the same grid: a 2x6
 	// checkpoint must not restore into a 3x4 collector.
 	for d, n := range c.cfg.DimSizes {
@@ -488,6 +531,30 @@ func (c *Collector) Restore(data []byte) error {
 		if len(st.Pairs[d]) != want {
 			return fmt.Errorf("analysis: state has %d pairs along dimension %d, collector ladder has %d windows",
 				len(st.Pairs[d]), d, n)
+		}
+		if st.PairWindows != nil && len(st.PairWindows[d]) != want {
+			return fmt.Errorf("analysis: state has %d pair windows along dimension %d, collector ladder has %d windows",
+				len(st.PairWindows[d]), d, n)
+		}
+	}
+	// Snapshots written before rolling windows existed carry none:
+	// start the windows empty. A snapshot from a different WindowEvents
+	// configuration is re-rung, keeping the newest outcomes.
+	if st.PairWindows == nil {
+		st.PairWindows = make([][]ring.Bool, len(st.Pairs))
+	}
+	for d := range st.PairWindows {
+		if st.PairWindows[d] == nil && len(st.Pairs[d]) > 0 {
+			st.PairWindows[d] = make([]ring.Bool, len(st.Pairs[d]))
+		}
+		for i := range st.PairWindows[d] {
+			// Rings come from untrusted JSON: corrupt indices would
+			// panic inside Push on the first post-resume event.
+			if err := st.PairWindows[d][i].Check(); err != nil {
+				return fmt.Errorf("analysis: state window for pair (%d,%d) of dimension %d: %v",
+					i, i+1, d, err)
+			}
+			st.PairWindows[d][i].Rebuild(c.cfg.WindowEvents)
 		}
 	}
 	for i := range st.Walks {
@@ -503,4 +570,21 @@ func (c *Collector) Restore(data []byte) error {
 	c.st = st
 	c.mu.Unlock()
 	return nil
+}
+
+// WeightedRatio returns the attempt-weighted mean acceptance ratio over
+// a set of pair statistics (0 when nothing was attempted). Weighting by
+// attempts makes the mean of a partially filled rolling window honest:
+// a pair with one buffered outcome does not count as much as one with a
+// full ring.
+func WeightedRatio(pairs []PairStat) float64 {
+	var att, acc uint64
+	for _, p := range pairs {
+		att += p.Attempted
+		acc += p.Accepted
+	}
+	if att == 0 {
+		return 0
+	}
+	return float64(acc) / float64(att)
 }

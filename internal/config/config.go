@@ -25,13 +25,22 @@ type Simulation struct {
 	// Pattern: "sync" (default) or "async".
 	Pattern string `json:"pattern,omitempty"`
 	// Trigger optionally selects the exchange-trigger policy directly:
-	// "barrier", "window", "count" or "adaptive". Empty derives it from
-	// Pattern (sync -> barrier, async -> window). "window" and
-	// "adaptive" use async_window_sec (and async_min_ready); "count"
-	// uses trigger_count.
+	// "barrier", "window", "count", "adaptive" or "feedback". Empty
+	// derives it from Pattern (sync -> barrier, async -> window).
+	// "window", "adaptive" and "feedback" use async_window_sec (and
+	// async_min_ready); "count" uses trigger_count; "feedback"
+	// additionally reads target_acceptance and window_events.
 	Trigger string `json:"trigger,omitempty"`
 	// TriggerCount is the ready-replica threshold of the "count" trigger.
-	TriggerCount    int     `json:"trigger_count,omitempty"`
+	TriggerCount int `json:"trigger_count,omitempty"`
+	// TargetAcceptance is the "feedback" trigger's acceptance-ratio set
+	// point in (0, 1); 0 selects the built-in default.
+	TargetAcceptance float64 `json:"target_acceptance,omitempty"`
+	// WindowEvents is the rolling measurement window of the "feedback"
+	// trigger and the analysis collector: the number of recent
+	// neighbour-pair outcomes statistics are computed over (0 selects
+	// the built-in default).
+	WindowEvents    int     `json:"window_events,omitempty"`
 	CoresPerReplica int     `json:"cores_per_replica"`
 	StepsPerCycle   int     `json:"steps_per_cycle"`
 	Cycles          int     `json:"cycles"`
@@ -165,8 +174,35 @@ func (s *Simulation) ToSpec() (*core.Spec, error) {
 		adaptive := core.NewAdaptiveTrigger(s.AsyncWindowSec)
 		adaptive.MinReady = s.AsyncMinReady
 		spec.Trigger = adaptive
+	case "feedback":
+		if s.AsyncWindowSec <= 0 {
+			return nil, fmt.Errorf("config: trigger \"feedback\" requires a positive async_window_sec as the initial window")
+		}
+		if s.TargetAcceptance < 0 || s.TargetAcceptance >= 1 {
+			return nil, fmt.Errorf("config: target_acceptance %g outside [0, 1) (0 selects the default %g)",
+				s.TargetAcceptance, core.DefaultTargetAcceptance)
+		}
+		spec.Pattern = core.PatternAsynchronous
+		fb := core.NewFeedbackTrigger(s.AsyncWindowSec)
+		fb.Target = s.TargetAcceptance
+		fb.WindowEvents = s.WindowEvents
+		fb.MinReady = s.AsyncMinReady
+		spec.Trigger = fb
 	default:
-		return nil, fmt.Errorf("config: unknown trigger %q (want barrier, window, count or adaptive)", s.Trigger)
+		return nil, fmt.Errorf("config: unknown trigger %q (want barrier, window, count, adaptive or feedback)", s.Trigger)
+	}
+	// target_acceptance configures only the feedback controller; on any
+	// other policy it would be silently dead configuration, so reject it
+	// rather than let the user believe acceptance control is active.
+	// (window_events stays valid everywhere: it also sizes the analysis
+	// collector's rolling statistics — but negative depths are nonsense
+	// under any trigger.)
+	if s.TargetAcceptance != 0 && s.Trigger != "feedback" {
+		return nil, fmt.Errorf("config: target_acceptance is set but trigger is %q; acceptance control requires \"trigger\": \"feedback\"",
+			spec.TriggerName())
+	}
+	if s.WindowEvents < 0 {
+		return nil, fmt.Errorf("config: window_events must be non-negative, got %d", s.WindowEvents)
 	}
 	switch s.FaultPolicy {
 	case "", "drop":

@@ -83,6 +83,7 @@ func TestParseSimulationTriggers(t *testing.T) {
 		{"window", `"trigger":"window","async_window_sec":30}`, "*core.WindowTrigger", false},
 		{"count", `"trigger":"count","trigger_count":4}`, "*core.CountTrigger", false},
 		{"adaptive", `"trigger":"adaptive","async_window_sec":30}`, "*core.AdaptiveTrigger", false},
+		{"feedback", `"trigger":"feedback","async_window_sec":30,"target_acceptance":0.4,"window_events":32}`, "*core.FeedbackTrigger", false},
 	}
 	for _, tc := range cases {
 		s, err := ParseSimulation([]byte(base + tc.tail))
@@ -109,6 +110,28 @@ func TestParseSimulationTriggers(t *testing.T) {
 	}
 }
 
+func TestFeedbackTriggerKnobsReachPolicy(t *testing.T) {
+	s, err := ParseSimulation([]byte(`{"name":"x",
+	  "dimensions":[{"type":"T","count":4,"min":280,"max":340}],
+	  "cores_per_replica":1,"steps_per_cycle":1000,"cycles":2,
+	  "trigger":"feedback","async_window_sec":45,"async_min_ready":3,
+	  "target_acceptance":0.4,"window_events":32}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := s.ToSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, ok := spec.Trigger.(*core.FeedbackTrigger)
+	if !ok {
+		t.Fatalf("trigger %T, want *core.FeedbackTrigger", spec.Trigger)
+	}
+	if fb.Initial != 45 || fb.Target != 0.4 || fb.WindowEvents != 32 || fb.MinReady != 3 {
+		t.Fatalf("knobs lost in config round trip: %+v", fb)
+	}
+}
+
 func TestParseSimulationErrors(t *testing.T) {
 	cases := []string{
 		`{bad json`,
@@ -122,6 +145,12 @@ func TestParseSimulationErrors(t *testing.T) {
 		`{"name":"x","dimensions":[{"type":"T","count":2,"min":200,"max":300}],"trigger":"window","cores_per_replica":1,"steps_per_cycle":1,"cycles":1}`,
 		`{"name":"x","dimensions":[{"type":"T","count":2,"min":200,"max":300}],"trigger":"count","trigger_count":1,"cores_per_replica":1,"steps_per_cycle":1,"cycles":1}`,
 		`{"name":"x","dimensions":[{"type":"T","count":2,"min":200,"max":300}],"trigger":"adaptive","cores_per_replica":1,"steps_per_cycle":1,"cycles":1}`,
+		`{"name":"x","dimensions":[{"type":"T","count":2,"min":200,"max":300}],"trigger":"feedback","cores_per_replica":1,"steps_per_cycle":1,"cycles":1}`,
+		`{"name":"x","dimensions":[{"type":"T","count":2,"min":200,"max":300}],"trigger":"feedback","async_window_sec":30,"target_acceptance":1.5,"cores_per_replica":1,"steps_per_cycle":1,"cycles":1}`,
+		`{"name":"x","dimensions":[{"type":"T","count":2,"min":200,"max":300}],"trigger":"feedback","async_window_sec":30,"window_events":-4,"cores_per_replica":1,"steps_per_cycle":1,"cycles":1}`,
+		`{"name":"x","dimensions":[{"type":"T","count":2,"min":200,"max":300}],"trigger":"barrier","target_acceptance":0.4,"cores_per_replica":1,"steps_per_cycle":1,"cycles":1}`,
+		`{"name":"x","dimensions":[{"type":"T","count":2,"min":200,"max":300}],"trigger":"window","async_window_sec":30,"window_events":-4,"cores_per_replica":1,"steps_per_cycle":1,"cycles":1}`,
+		`{"name":"x","dimensions":[{"type":"T","count":2,"min":200,"max":300}],"target_acceptance":0.4,"cores_per_replica":1,"steps_per_cycle":1,"cycles":1}`,
 	}
 	for i, c := range cases {
 		if s, err := ParseSimulation([]byte(c)); err == nil {

@@ -66,6 +66,31 @@ func TestShippedTSUConfig(t *testing.T) {
 	}
 }
 
+func TestShippedFeedbackConfig(t *testing.T) {
+	simFile, err := config.ParseSimulation(readConfig(t, "feedback_small.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := simFile.ToSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := spec.TriggerName(); got != "feedback" {
+		t.Fatalf("trigger %q, want feedback", got)
+	}
+	rep := runConfig(t, "feedback_small.json", "small_cluster_16.json")
+	if rep.Trigger != "feedback" {
+		t.Fatalf("report trigger %q, want feedback", rep.Trigger)
+	}
+	if rep.ExchangeEvents == 0 {
+		t.Fatal("no exchange events under the feedback trigger")
+	}
+	acc := rep.AcceptanceRatioByDim(0)
+	if acc <= 0 || acc >= 1 {
+		t.Fatalf("acceptance %v out of (0,1)", acc)
+	}
+}
+
 func TestShippedAsyncPHConfig(t *testing.T) {
 	rep := runConfig(t, "async_ph_small.json", "small_cluster_16.json")
 	if rep.DimCode != "H" {

@@ -53,6 +53,20 @@ func (s *Simulation) dispatch(tr Trigger) error {
 		return fmt.Errorf("core: snapshot was taken under trigger %q, resuming under %q",
 			spec.Resume.Trigger, tr.Name())
 	}
+	// Closed-loop policies are fed exchange outcomes through the
+	// observer hook; stateful ones additionally resume their controller
+	// state, so a resumed run makes the same trigger decisions.
+	s.exObs, _ = tr.(ExchangeObserver)
+	if s.resumed && len(spec.Resume.TriggerData) > 0 {
+		st, ok := tr.(StatefulTrigger)
+		if !ok {
+			return fmt.Errorf("core: snapshot carries %q trigger state, but the policy cannot restore it",
+				spec.Resume.Trigger)
+		}
+		if err := st.RestoreState(spec.Resume.TriggerData); err != nil {
+			return err
+		}
+	}
 	// A replica's MD-segment budget: the synchronous pattern runs one
 	// segment per (cycle, dimension) sub-cycle, the asynchronous family
 	// one segment per cycle.
@@ -281,7 +295,9 @@ func (s *Simulation) dispatch(tr Trigger) error {
 				dim = event % ndims
 			}
 			if fired {
-				s.maybeSnapshot(tr, event)
+				if err := s.maybeSnapshot(tr, event); err != nil {
+					return err
+				}
 			}
 
 			// Replicas with budget left go back to MD; the rest are done.
@@ -396,7 +412,7 @@ func (s *Simulation) exchangePhase(participants []*Replica, d, sweep int, rec *C
 		s.rngDraws += int64(len(pairs)) // Sweep draws one uniform per pair
 		for _, dec := range exchange.Sweep(pairs, probs, s.rng) {
 			rec.Attempted++
-			if s.spec.Bus != nil {
+			if s.wantsPairOutcomes() {
 				// Captured before applySwap: Lo/Hi are the partners'
 				// window indices along d at decision time.
 				ci := s.coordAlong(s.replicas[dec.I].Slot, d)

@@ -29,9 +29,13 @@ type Simulation struct {
 	// slot-to-window-index conversion when publishing pair outcomes.
 	dimStride []int
 	// pairScratch accumulates the current exchange event's pair outcomes
-	// for the event bus (nil while no bus is attached).
+	// for the event bus and the trigger's ExchangeObserver hook (nil
+	// while neither consumer is attached).
 	pairScratch []PairOutcome
-	rng         *rand.Rand
+	// exObs is the running trigger's ExchangeObserver side, set by
+	// dispatch for closed-loop policies (nil otherwise).
+	exObs ExchangeObserver
+	rng   *rand.Rand
 	// rngDraws counts uniforms consumed from rng, so a Snapshot can
 	// restore the exact RNG state by replaying the draw count.
 	rngDraws int64
@@ -202,11 +206,20 @@ func (s *Simulation) coordAlong(slot, d int) int {
 	return slot / s.dimStride[d] % len(s.spec.Dims[d].Values)
 }
 
+// wantsPairOutcomes reports whether anyone consumes per-pair exchange
+// outcomes: the event bus or a closed-loop trigger's observer hook.
+func (s *Simulation) wantsPairOutcomes() bool {
+	return s.spec.Bus != nil || s.exObs != nil
+}
+
 // publishExchange emits the ExchangeEvent record of the exchange event
 // that just completed; called by the dispatcher right after
-// snapshotSlots, so Slots shares the freshly appended history row.
+// snapshotSlots, so Slots shares the freshly appended history row. The
+// trigger's ExchangeObserver hook (closed-loop policies) is fed first,
+// synchronously — it can never lose events to ring overflow — then the
+// bus fans the same record out to its subscribers.
 func (s *Simulation) publishExchange(event, cycle, dim int, rec *CycleRecord) {
-	if s.spec.Bus == nil {
+	if !s.wantsPairOutcomes() {
 		return
 	}
 	pairs := s.pairScratch
@@ -215,8 +228,14 @@ func (s *Simulation) publishExchange(event, cycle, dim int, rec *CycleRecord) {
 	if n := len(s.report.SlotHistory); n > 0 {
 		row = s.report.SlotHistory[n-1]
 	}
-	s.spec.Bus.Publish(ExchangeEvent{At: s.rt.Now(), Event: event, Cycle: cycle,
-		Dim: dim, Pairs: pairs, Slots: row, MDWall: rec.MD.Wall, EXWall: rec.EX.Wall})
+	ev := ExchangeEvent{At: s.rt.Now(), Event: event, Cycle: cycle,
+		Dim: dim, Pairs: pairs, Slots: row, MDWall: rec.MD.Wall, EXWall: rec.EX.Wall}
+	if s.exObs != nil {
+		s.exObs.ObserveExchange(ev)
+	}
+	if s.spec.Bus != nil {
+		s.spec.Bus.Publish(ev)
+	}
 }
 
 // pairProbability computes the Metropolis acceptance probability for

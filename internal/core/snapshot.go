@@ -25,6 +25,12 @@ type Snapshot struct {
 	// Trigger names the exchange-trigger policy the run executed under;
 	// resuming under a different policy is rejected.
 	Trigger string `json:"trigger"`
+	// TriggerData is the serialized controller state of a
+	// StatefulTrigger policy (e.g. FeedbackTrigger's rolling outcome
+	// window and controlled window length); empty for stateless
+	// policies. Restored in dispatch so resumed runs make the same
+	// trigger decisions as the uninterrupted run.
+	TriggerData json.RawMessage `json:"trigger_data,omitempty"`
 	// Events is the number of exchange events fired before the snapshot.
 	Events int `json:"events"`
 	// Elapsed is the virtual run time consumed before the snapshot
@@ -96,12 +102,15 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 }
 
 // captureSnapshot builds a checkpoint of the current state; called by
-// the dispatcher right after an exchange event completes.
-func (s *Simulation) captureSnapshot(trigger string, events int) *Snapshot {
+// the dispatcher right after an exchange event completes. It fails when
+// a stateful trigger cannot serialize its controller state: writing a
+// checkpoint without it would resume with a fresh controller and
+// silently break resume determinism.
+func (s *Simulation) captureSnapshot(tr Trigger, events int) (*Snapshot, error) {
 	sn := &Snapshot{
 		Version:           SnapshotVersion,
 		Name:              s.spec.Name,
-		Trigger:           trigger,
+		Trigger:           tr.Name(),
 		Events:            events,
 		Elapsed:           s.rt.Now() - s.report.Start,
 		RNGDraws:          s.rngDraws,
@@ -114,6 +123,13 @@ func (s *Simulation) captureSnapshot(trigger string, events int) *Snapshot {
 	}
 	if re, ok := s.engine.(ReplayableEngine); ok {
 		sn.EngineDraws = re.RNGDraws()
+	}
+	if st, ok := tr.(StatefulTrigger); ok {
+		data, err := st.EncodeState()
+		if err != nil {
+			return nil, fmt.Errorf("core: encoding %q trigger state for snapshot: %v", tr.Name(), err)
+		}
+		sn.TriggerData = data
 	}
 	for i, r := range s.replicas {
 		sn.Replicas[i] = ReplicaState{
@@ -129,19 +145,24 @@ func (s *Simulation) captureSnapshot(trigger string, events int) *Snapshot {
 	for i, row := range s.report.SlotHistory {
 		sn.SlotHistory[i] = append([]int(nil), row...)
 	}
-	return sn
+	return sn, nil
 }
 
 // maybeSnapshot captures and delivers a checkpoint when the spec asks
 // for one at this exchange-event count.
-func (s *Simulation) maybeSnapshot(tr Trigger, events int) {
+func (s *Simulation) maybeSnapshot(tr Trigger, events int) error {
 	if s.spec.SnapshotEvery <= 0 || s.spec.OnSnapshot == nil {
-		return
+		return nil
 	}
 	if events%s.spec.SnapshotEvery != 0 {
-		return
+		return nil
 	}
-	s.spec.OnSnapshot(s.captureSnapshot(tr.Name(), events))
+	sn, err := s.captureSnapshot(tr, events)
+	if err != nil {
+		return err
+	}
+	s.spec.OnSnapshot(sn)
+	return nil
 }
 
 // applySnapshot restores replica and RNG state from a checkpoint; called

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 
+	"repro/internal/ring"
 	"repro/internal/task"
 )
 
@@ -44,9 +46,9 @@ const (
 // *when* replicas transition from the MD phase to the exchange phase.
 // The paper's two Replica Exchange Patterns are the two canonical
 // policies (BarrierTrigger for synchronous, WindowTrigger for
-// asynchronous); CountTrigger and AdaptiveTrigger extend the taxonomy.
-// All policies drive the same event-driven dispatcher loop in
-// Simulation.dispatch.
+// asynchronous); CountTrigger, AdaptiveTrigger and FeedbackTrigger
+// extend the taxonomy. All policies drive the same event-driven
+// dispatcher loop in Simulation.dispatch.
 type Trigger interface {
 	// Name identifies the policy in reports.
 	Name() string
@@ -68,6 +70,35 @@ type Trigger interface {
 	// Reset begins a new collection round; called once when dispatch
 	// starts and again after every exchange step.
 	Reset(st TriggerState)
+}
+
+// ExchangeObserver is an optional Trigger extension: a policy that also
+// implements it is fed every completed exchange event's outcomes by the
+// dispatcher, synchronously and independently of Spec.Bus. This is the
+// feedback path of closed-loop policies (FeedbackTrigger): unlike a bus
+// subscription, the hook cannot drop events, so resumed runs replay the
+// same controller inputs deterministically.
+type ExchangeObserver interface {
+	// ObserveExchange is invoked right after the dispatcher publishes an
+	// exchange event, before the next collection round opens. The event
+	// (including its Pairs and Slots slices) is shared with other
+	// consumers and must not be mutated or retained.
+	ObserveExchange(ev ExchangeEvent)
+}
+
+// StatefulTrigger is an optional Trigger extension for policies whose
+// accumulated controller state must survive checkpoint/restart (e.g.
+// FeedbackTrigger's rolling outcome window and controlled window
+// length). The dispatcher embeds EncodeState's bytes in each Snapshot
+// and replays them through RestoreState on resume, so a resumed run
+// makes the same trigger decisions as the uninterrupted one.
+type StatefulTrigger interface {
+	Trigger
+	// EncodeState serializes the controller state.
+	EncodeState() ([]byte, error)
+	// RestoreState replaces the controller state with one produced by
+	// EncodeState.
+	RestoreState(data []byte) error
 }
 
 // ---------------------------------------------------------------------------
@@ -232,6 +263,36 @@ func (t *CountTrigger) Reset(TriggerState) {}
 // ---------------------------------------------------------------------------
 // AdaptiveTrigger: a window that tracks observed MD-time dispersion.
 
+// execStats is a Welford accumulator over completed MD segments'
+// execution times: the dispersion estimate behind the adaptive window
+// (AdaptiveTrigger, and FeedbackTrigger's warm-up fallback).
+type execStats struct {
+	n        int
+	mean, m2 float64
+}
+
+// observe folds one completed MD segment's execution time in; failed
+// and non-MD results are ignored.
+func (e *execStats) observe(res task.Result) {
+	if res.Failed() || res.Spec == nil || res.Spec.Kind != task.MD {
+		return
+	}
+	e.n++
+	d := res.Exec - e.mean
+	e.mean += d / float64(e.n)
+	e.m2 += d * (res.Exec - e.mean)
+}
+
+// window returns mean + gain·stddev clamped to [lo, hi], or initial
+// until two segments were observed.
+func (e *execStats) window(initial, gain, lo, hi float64) float64 {
+	if e.n < 2 {
+		return initial
+	}
+	sigma := math.Sqrt(e.m2 / float64(e.n-1))
+	return math.Min(math.Max(e.mean+gain*sigma, lo), hi)
+}
+
 // AdaptiveTrigger is a window trigger whose period adapts to the
 // observed MD execution times: the window is mean + Gain·stddev of the
 // segments seen so far, clamped to [MinWindow, MaxWindow]. Under uniform
@@ -251,9 +312,7 @@ type AdaptiveTrigger struct {
 	// ready (as in WindowTrigger).
 	MinReady int
 
-	// Welford accumulator over observed MD execution times.
-	n        int
-	mean, m2 float64
+	stats execStats
 
 	windowEnd float64
 }
@@ -291,15 +350,7 @@ func (t *AdaptiveTrigger) Decide(st TriggerState) TriggerDecision {
 
 // Observe folds a completed MD segment's execution time into the
 // dispersion estimate.
-func (t *AdaptiveTrigger) Observe(res task.Result) {
-	if res.Failed() || res.Spec == nil || res.Spec.Kind != task.MD {
-		return
-	}
-	t.n++
-	d := res.Exec - t.mean
-	t.mean += d / float64(t.n)
-	t.m2 += d * (res.Exec - t.mean)
-}
+func (t *AdaptiveTrigger) Observe(res task.Result) { t.stats.observe(res) }
 
 // window returns the current adapted window length.
 func (t *AdaptiveTrigger) window() float64 {
@@ -310,17 +361,308 @@ func (t *AdaptiveTrigger) window() float64 {
 	if hi <= 0 {
 		hi = t.Initial * 4
 	}
-	if t.n < 2 {
-		return t.Initial
-	}
 	gain := t.Gain
 	if gain <= 0 {
 		gain = 2
 	}
-	sigma := math.Sqrt(t.m2 / float64(t.n-1))
-	w := t.mean + gain*sigma
-	return math.Min(math.Max(w, lo), hi)
+	return t.stats.window(t.Initial, gain, lo, hi)
 }
 
 // Reset opens the next window at the adapted length.
 func (t *AdaptiveTrigger) Reset(st TriggerState) { t.windowEnd = st.Now + t.window() }
+
+// adaptiveState is the serialized dispersion state of an AdaptiveTrigger.
+type adaptiveState struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+}
+
+// EncodeState serializes the dispersion estimate (StatefulTrigger), so
+// a resumed adaptive run reopens its window at the adapted length
+// instead of falling back to Initial.
+func (t *AdaptiveTrigger) EncodeState() ([]byte, error) {
+	return json.Marshal(&adaptiveState{N: t.stats.n, Mean: t.stats.mean, M2: t.stats.m2})
+}
+
+// RestoreState replaces the dispersion estimate with one produced by
+// EncodeState (StatefulTrigger).
+func (t *AdaptiveTrigger) RestoreState(data []byte) error {
+	var st adaptiveState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("core: decoding adaptive trigger state: %v", err)
+	}
+	if st.N < 0 || st.M2 < 0 {
+		return fmt.Errorf("core: adaptive trigger state n=%d m2=%g is invalid", st.N, st.M2)
+	}
+	t.stats = execStats{n: st.N, mean: st.Mean, m2: st.M2}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// FeedbackTrigger: closed-loop acceptance control.
+
+// DefaultTargetAcceptance is FeedbackTrigger's default acceptance-ratio
+// set point, in the band REMD practice aims exchange ladders at.
+const DefaultTargetAcceptance = 0.3
+
+// FeedbackTrigger is a window trigger that closes the loop on the
+// quantity REMD is actually judged by: the neighbour-pair acceptance
+// ratio. It keeps a rolling window of the last WindowEvents
+// true-neighbour exchange outcomes (fed by the dispatcher through the
+// ExchangeObserver hook) and steers its exchange window with
+// proportional control to hold Target:
+//
+//	window *= 1 + Gain·(Target - measured)
+//
+// clamped per step and to [MinWindow, MaxWindow]. Measured acceptance
+// below the target widens the window — more replicas make each
+// exchange, ready subsets stay contiguous and fewer attempts straddle
+// window gaps — while acceptance above it narrows the window so ready
+// replicas exchange (and re-enter MD) sooner. A deadband around the
+// target (Deadband) provides hysteresis so measurement noise does not
+// jitter the window, and gap pairs (Hi > Lo+1, bridging dead replicas
+// or ready-subset holes) never enter the measurement, so the controller
+// cannot chase dead-replica artifacts.
+//
+// Until the outcome window has filled once, the policy falls back to
+// AdaptiveTrigger behaviour: the window tracks mean + 2σ of the
+// observed MD execution times, giving the controller a sane operating
+// point to take over from.
+type FeedbackTrigger struct {
+	// Initial is the window used until enough data accumulates.
+	Initial float64
+	// Target is the acceptance-ratio set point (default
+	// DefaultTargetAcceptance).
+	Target float64
+	// WindowEvents is the rolling measurement window: the number of
+	// recent neighbour-pair outcomes acceptance is computed over
+	// (default 64).
+	WindowEvents int
+	// Gain is the proportional gain: relative window change per unit of
+	// acceptance error (default 1.5).
+	Gain float64
+	// Deadband is the hysteresis half-width: errors within ±Deadband of
+	// the target leave the window unchanged (default 0.02).
+	Deadband float64
+	// MinWindow and MaxWindow clamp the controlled window; they default
+	// to Initial/8 and Initial*8 (wider than AdaptiveTrigger's, since
+	// the controller is expected to explore).
+	MinWindow, MaxWindow float64
+	// MinReady, when positive, fires early once that many replicas are
+	// ready (as in WindowTrigger).
+	MinReady int
+
+	// warm is the warm-up dispersion estimate over observed MD
+	// execution times (the AdaptiveTrigger fallback).
+	warm execStats
+
+	// win is the rolling window of neighbour-pair outcomes, the same
+	// ring structure the analysis collector keeps per pair.
+	win ring.Bool
+
+	// cur is the controlled window length; valid once active.
+	cur    float64
+	active bool
+
+	windowEnd float64
+}
+
+// NewFeedbackTrigger returns an acceptance-targeting policy starting
+// from the given initial window.
+func NewFeedbackTrigger(initial float64) *FeedbackTrigger {
+	return &FeedbackTrigger{Initial: initial}
+}
+
+// Validate rejects parameterizations that cannot make progress.
+func (t *FeedbackTrigger) Validate() error {
+	if t.Initial <= 0 {
+		return fmt.Errorf("feedback trigger requires a positive initial window, got %g", t.Initial)
+	}
+	if t.Target < 0 || t.Target >= 1 {
+		return fmt.Errorf("feedback trigger target acceptance %g outside [0, 1) (0 selects the default %g)",
+			t.Target, DefaultTargetAcceptance)
+	}
+	if t.WindowEvents < 0 {
+		return fmt.Errorf("feedback trigger window events must be non-negative, got %d", t.WindowEvents)
+	}
+	if t.Gain < 0 || t.Deadband < 0 {
+		return fmt.Errorf("feedback trigger gain %g and deadband %g must be non-negative", t.Gain, t.Deadband)
+	}
+	if t.MinWindow < 0 || (t.MaxWindow > 0 && t.MaxWindow < t.MinWindow) {
+		return fmt.Errorf("feedback trigger window clamp [%g, %g] is invalid", t.MinWindow, t.MaxWindow)
+	}
+	return nil
+}
+
+// Name identifies the policy.
+func (t *FeedbackTrigger) Name() string { return "feedback" }
+
+// Aligned reports false: feedback windows exchange among ready subsets.
+func (t *FeedbackTrigger) Aligned() bool { return false }
+
+// Deadline is the current window boundary.
+func (t *FeedbackTrigger) Deadline(TriggerState) float64 { return t.windowEnd }
+
+// Decide mirrors WindowTrigger against the controlled boundary, with
+// one closed-loop refinement: when no MD segment is outstanding the
+// exchange fires immediately instead of idling to the boundary. The
+// window exists to gather more participants per exchange — once nothing
+// more can arrive, waiting cannot raise acceptance, only burn
+// allocation.
+func (t *FeedbackTrigger) Decide(st TriggerState) TriggerDecision {
+	if st.Pending == 0 {
+		return TriggerFire
+	}
+	return windowDecision(st, t.windowEnd, t.MinReady)
+}
+
+// Observe folds a completed MD segment's execution time into the
+// warm-up dispersion estimate (the AdaptiveTrigger fallback).
+func (t *FeedbackTrigger) Observe(res task.Result) { t.warm.observe(res) }
+
+// ObserveExchange feeds the exchange event's true-neighbour outcomes
+// into the rolling measurement window and, once the window has filled,
+// applies one proportional control step. Gap pairs (Hi > Lo+1) are
+// excluded, and events contributing no fresh neighbour outcome apply no
+// step — stale measurements must not keep pushing the window.
+func (t *FeedbackTrigger) ObserveExchange(ev ExchangeEvent) {
+	fresh := false
+	for _, p := range ev.Pairs {
+		if p.Hi != p.Lo+1 {
+			continue
+		}
+		t.win.Push(p.Accepted, t.windowEvents())
+		fresh = true
+	}
+	if !t.active && t.win.N > 0 && t.win.N == len(t.win.Outcomes) {
+		// The measurement window filled for the first time: the
+		// controller takes over from the warm-up window.
+		t.active = true
+		t.cur = t.warmWindow()
+	}
+	if !t.active || !fresh {
+		return
+	}
+	err := t.target() - float64(t.win.Accepted)/float64(t.win.N)
+	if math.Abs(err) <= t.deadband() {
+		return
+	}
+	factor := 1 + t.gain()*err
+	// Bound a single step: one noisy window must not collapse or
+	// explode the operating point.
+	factor = math.Min(math.Max(factor, 0.5), 2)
+	lo, hi := t.clamps()
+	t.cur = math.Min(math.Max(t.cur*factor, lo), hi)
+}
+
+// Acceptance returns the measured rolling-window acceptance ratio and
+// the number of outcomes it covers.
+func (t *FeedbackTrigger) Acceptance() (ratio float64, outcomes int) {
+	if t.win.N == 0 {
+		return 0, 0
+	}
+	return float64(t.win.Accepted) / float64(t.win.N), t.win.N
+}
+
+// Window returns the window length the next Reset will open with.
+func (t *FeedbackTrigger) Window() float64 {
+	if t.active {
+		return t.cur
+	}
+	return t.warmWindow()
+}
+
+func (t *FeedbackTrigger) target() float64 {
+	if t.Target > 0 {
+		return t.Target
+	}
+	return DefaultTargetAcceptance
+}
+
+func (t *FeedbackTrigger) gain() float64 {
+	if t.Gain > 0 {
+		return t.Gain
+	}
+	return 1.5
+}
+
+func (t *FeedbackTrigger) deadband() float64 {
+	if t.Deadband > 0 {
+		return t.Deadband
+	}
+	return 0.02
+}
+
+func (t *FeedbackTrigger) windowEvents() int {
+	if t.WindowEvents > 0 {
+		return t.WindowEvents
+	}
+	return 64
+}
+
+func (t *FeedbackTrigger) clamps() (lo, hi float64) {
+	lo, hi = t.MinWindow, t.MaxWindow
+	if lo <= 0 {
+		lo = t.Initial / 8
+	}
+	if hi <= 0 {
+		hi = t.Initial * 8
+	}
+	return lo, hi
+}
+
+// warmWindow is the AdaptiveTrigger-style fallback: mean + 2σ of the
+// observed MD execution times, clamped.
+func (t *FeedbackTrigger) warmWindow() float64 {
+	lo, hi := t.clamps()
+	return t.warm.window(t.Initial, 2, lo, hi)
+}
+
+// Reset opens the next window at the controlled (or warm-up) length.
+func (t *FeedbackTrigger) Reset(st TriggerState) { t.windowEnd = st.Now + t.Window() }
+
+// feedbackState is the serialized controller state of a FeedbackTrigger.
+type feedbackState struct {
+	// Outcomes is the rolling window's contents, oldest first.
+	Outcomes []bool  `json:"outcomes"`
+	Cur      float64 `json:"cur"`
+	Active   bool    `json:"active"`
+	WarmN    int     `json:"warm_n"`
+	WarmMean float64 `json:"warm_mean"`
+	WarmM2   float64 `json:"warm_m2"`
+}
+
+// EncodeState serializes the controller state (StatefulTrigger).
+func (t *FeedbackTrigger) EncodeState() ([]byte, error) {
+	st := feedbackState{
+		Outcomes: t.win.Linear(),
+		Cur:      t.cur,
+		Active:   t.active,
+		WarmN:    t.warm.n,
+		WarmMean: t.warm.mean,
+		WarmM2:   t.warm.m2,
+	}
+	return json.Marshal(&st)
+}
+
+// RestoreState replaces the controller state with one produced by
+// EncodeState (StatefulTrigger). Outcomes beyond this trigger's
+// WindowEvents are dropped oldest-first.
+func (t *FeedbackTrigger) RestoreState(data []byte) error {
+	var st feedbackState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("core: decoding feedback trigger state: %v", err)
+	}
+	t.win = ring.Bool{}
+	for _, v := range st.Outcomes {
+		t.win.Push(v, t.windowEvents())
+	}
+	t.cur = st.Cur
+	t.active = st.Active
+	t.warm = execStats{n: st.WarmN, mean: st.WarmMean, m2: st.WarmM2}
+	if t.active && t.cur <= 0 {
+		return fmt.Errorf("core: feedback trigger state is active with window %g", t.cur)
+	}
+	return nil
+}

@@ -1,0 +1,310 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/exchange"
+	"repro/internal/task"
+)
+
+// neighbourEvent builds an exchange event with n true-neighbour pair
+// outcomes, accepted per the mask (index i -> pair (i, i+1)).
+func neighbourEvent(accepted ...bool) core.ExchangeEvent {
+	ev := core.ExchangeEvent{Dim: 0}
+	for i, a := range accepted {
+		ev.Pairs = append(ev.Pairs, core.PairOutcome{Lo: i, Hi: i + 1, Accepted: a})
+	}
+	return ev
+}
+
+// feedFill activates a feedback trigger's controller by alternating
+// outcomes until the measurement window fills: with an even
+// WindowEvents the measured ratio lands exactly on 0.5.
+func feedFill(t *core.FeedbackTrigger) {
+	for i := 0; ; i++ {
+		if _, n := t.Acceptance(); n >= t.WindowEvents {
+			return
+		}
+		t.ObserveExchange(neighbourEvent(i%2 == 0))
+	}
+}
+
+// TestFeedbackControllerConvergence drives the proportional controller
+// with synthetic acceptance series: persistent rejection must widen the
+// window monotonically until the upper clamp, persistent acceptance
+// must narrow it to the lower clamp, and the window must stay within
+// the clamps at every step.
+func TestFeedbackControllerConvergence(t *testing.T) {
+	tr := core.NewFeedbackTrigger(100)
+	tr.Target = 0.5
+	tr.WindowEvents = 16
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := 100.0/8, 100.0*8
+
+	feedFill(tr)
+	if w := tr.Window(); w != 100 {
+		t.Fatalf("fresh controller window %v, want the 100s initial", w)
+	}
+
+	// Starve it: all-rejected windows must widen the window every event
+	// until it parks at the upper clamp.
+	prev := tr.Window()
+	for i := 0; i < 40; i++ {
+		tr.ObserveExchange(neighbourEvent(false, false))
+		w := tr.Window()
+		if w < lo-1e-9 || w > hi+1e-9 {
+			t.Fatalf("window %v escaped clamps [%v, %v]", w, lo, hi)
+		}
+		if w < prev-1e-9 {
+			t.Fatalf("window shrank (%v -> %v) while acceptance was below target", prev, w)
+		}
+		prev = w
+	}
+	if prev != hi {
+		t.Fatalf("window settled at %v under persistent rejection, want upper clamp %v", prev, hi)
+	}
+
+	// Flood it: all-accepted windows must narrow to the lower clamp.
+	for i := 0; i < 60; i++ {
+		tr.ObserveExchange(neighbourEvent(true, true))
+	}
+	if w := tr.Window(); w != lo {
+		t.Fatalf("window settled at %v under persistent acceptance, want lower clamp %v", w, lo)
+	}
+
+	// Hysteresis: holding exactly the target leaves the window alone.
+	at := tr.Window()
+	for i := 0; i < 16; i++ {
+		tr.ObserveExchange(neighbourEvent(true, false))
+	}
+	if w := tr.Window(); w != at {
+		t.Fatalf("window moved (%v -> %v) while measured acceptance equals the target", at, w)
+	}
+}
+
+// TestFeedbackIgnoresGapPairs: bridged pairs (Hi > Lo+1) never enter
+// the measurement, and events carrying only gap pairs apply no control
+// step — the controller must not chase dead-replica artifacts.
+func TestFeedbackIgnoresGapPairs(t *testing.T) {
+	tr := core.NewFeedbackTrigger(100)
+	tr.Target = 0.5
+	tr.WindowEvents = 8
+	gap := core.ExchangeEvent{Pairs: []core.PairOutcome{{Lo: 0, Hi: 2, Accepted: true}}}
+	for i := 0; i < 50; i++ {
+		tr.ObserveExchange(gap)
+	}
+	if _, n := tr.Acceptance(); n != 0 {
+		t.Fatalf("gap pairs entered the measurement window: %d outcomes", n)
+	}
+	if w := tr.Window(); w != 100 {
+		t.Fatalf("gap-only events moved the window to %v", w)
+	}
+
+	// Activate, park the measurement below target, then verify stale
+	// gap-only events stop pushing the window further.
+	for i := 0; i < 8; i++ {
+		tr.ObserveExchange(neighbourEvent(false))
+	}
+	at := tr.Window()
+	for i := 0; i < 50; i++ {
+		tr.ObserveExchange(gap)
+	}
+	if w := tr.Window(); w != at {
+		t.Fatalf("stale measurement kept pushing the window (%v -> %v)", at, w)
+	}
+}
+
+// TestFeedbackStateRoundTrip: EncodeState/RestoreState transplants the
+// controller exactly — same measurement, same window, same response to
+// the next event.
+func TestFeedbackStateRoundTrip(t *testing.T) {
+	a := core.NewFeedbackTrigger(100)
+	a.Target = 0.4
+	a.WindowEvents = 8
+	for i := 0; i < 12; i++ {
+		a.ObserveExchange(neighbourEvent(i%3 == 0, i%2 == 0))
+	}
+	data, err := a.EncodeState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := core.NewFeedbackTrigger(100)
+	b.Target = 0.4
+	b.WindowEvents = 8
+	if err := b.RestoreState(data); err != nil {
+		t.Fatal(err)
+	}
+	ra, na := a.Acceptance()
+	rb, nb := b.Acceptance()
+	if ra != rb || na != nb {
+		t.Fatalf("restored measurement %v/%d, want %v/%d", rb, nb, ra, na)
+	}
+	if a.Window() != b.Window() {
+		t.Fatalf("restored window %v, want %v", b.Window(), a.Window())
+	}
+	next := neighbourEvent(true, false, false)
+	a.ObserveExchange(next)
+	b.ObserveExchange(next)
+	if a.Window() != b.Window() {
+		t.Fatalf("controllers diverged after one event: %v vs %v", b.Window(), a.Window())
+	}
+
+	if err := b.RestoreState([]byte("{")); err == nil {
+		t.Fatal("corrupt controller state accepted")
+	}
+}
+
+// TestAdaptiveStateRoundTrip: the adaptive policy's dispersion estimate
+// survives checkpoint/restart through the same StatefulTrigger path, so
+// a resumed adaptive run reopens its window at the adapted length
+// instead of falling back to Initial.
+func TestAdaptiveStateRoundTrip(t *testing.T) {
+	mk := func() *core.AdaptiveTrigger { return core.NewAdaptiveTrigger(100) }
+	a := mk()
+	for _, exec := range []float64{90, 110, 130, 95, 140} {
+		a.Observe(task.Result{Spec: &task.Spec{Kind: task.MD}, Exec: exec})
+	}
+	data, err := a.EncodeState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := mk()
+	if err := b.RestoreState(data); err != nil {
+		t.Fatal(err)
+	}
+	var zero core.TriggerState
+	a.Reset(zero)
+	b.Reset(zero)
+	if da, db := a.Deadline(zero), b.Deadline(zero); da != db {
+		t.Fatalf("restored adaptive window %v, want %v", db, da)
+	}
+	if da := a.Deadline(zero); da == 100 {
+		t.Fatalf("dispersion state was not exercised: window stayed at Initial (%v)", da)
+	}
+	if err := b.RestoreState([]byte(`{"n":-3}`)); err == nil {
+		t.Fatal("negative sample count accepted")
+	}
+}
+
+// TestFeedbackResumeDeterminism is the closed-loop checkpoint
+// acceptance criterion: a feedback-trigger run killed after a snapshot
+// and resumed from it must reproduce the uninterrupted run's slot
+// history, which requires the controller state (rolling outcomes,
+// controlled window) to survive in the snapshot — a fresh controller
+// would time its exchanges differently.
+func TestFeedbackResumeDeterminism(t *testing.T) {
+	mkSpec := func() (*core.Spec, *core.FeedbackTrigger) {
+		tr := core.NewFeedbackTrigger(150)
+		tr.Target = 0.5
+		tr.WindowEvents = 12
+		s := &core.Spec{
+			Name:            "ckpt-feedback",
+			Dims:            []core.Dimension{{Type: exchange.Temperature, Values: core.GeometricTemperatures(273, 373, 8)}},
+			Pattern:         core.PatternAsynchronous,
+			Trigger:         tr,
+			CoresPerReplica: 1,
+			StepsPerCycle:   6000,
+			Cycles:          8,
+			AsyncWindow:     150,
+			Seed:            21,
+		}
+		return s, tr
+	}
+
+	var snaps []*core.Snapshot
+	spec, trFull := mkSpec()
+	spec.SnapshotEvery = 3
+	spec.OnSnapshot = func(sn *core.Snapshot) { snaps = append(snaps, sn) }
+	full := runVirtual(t, spec, quietCluster(), 8, 2881)
+	if len(snaps) < 2 {
+		t.Fatalf("%d snapshots, want >= 2", len(snaps))
+	}
+	if snaps[1].Trigger != "feedback" {
+		t.Fatalf("snapshot trigger %q, want feedback", snaps[1].Trigger)
+	}
+	if len(snaps[1].TriggerData) == 0 {
+		t.Fatal("snapshot carries no feedback controller state")
+	}
+
+	// Kill + restart from the second snapshot (controller warmed up),
+	// round-tripping through the serialized form.
+	data, err := snaps[1].Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := core.DecodeSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumedSpec, trResumed := mkSpec()
+	resumedSpec.Resume = snap
+	resumed := runVirtual(t, resumedSpec, quietCluster(), 8, 2881)
+
+	if resumed.ExchangeEvents != full.ExchangeEvents {
+		t.Fatalf("resumed run fired %d events, uninterrupted %d",
+			resumed.ExchangeEvents, full.ExchangeEvents)
+	}
+	if historyFingerprint(resumed.SlotHistory) != historyFingerprint(full.SlotHistory) {
+		t.Fatalf("resumed slot history diverged:\nfull    %v\nresumed %v",
+			full.SlotHistory, resumed.SlotHistory)
+	}
+	// The controllers themselves must land in the same state.
+	ra, na := trFull.Acceptance()
+	rb, nb := trResumed.Acceptance()
+	if ra != rb || na != nb {
+		t.Fatalf("controller measurement diverged: full %v/%d, resumed %v/%d", ra, na, rb, nb)
+	}
+	if trFull.Window() != trResumed.Window() {
+		t.Fatalf("controlled window diverged: full %v, resumed %v",
+			trFull.Window(), trResumed.Window())
+	}
+}
+
+// TestFeedbackHoldsTargetAcceptance is the closed-loop e2e acceptance
+// criterion: on a jittery virtual T-REMD workload the feedback trigger
+// must hold the mean neighbour acceptance (the rolling-window view the
+// collector exports) within ±0.05 of its target after warm-up.
+func TestFeedbackHoldsTargetAcceptance(t *testing.T) {
+	const target = 0.5
+	tr := core.NewFeedbackTrigger(100)
+	tr.Target = target
+	tr.WindowEvents = 64
+	spec := &core.Spec{
+		Name:            "feedback-hold",
+		Dims:            []core.Dimension{{Type: exchange.Temperature, Values: core.GeometricTemperatures(273, 373, 12)}},
+		Pattern:         core.PatternAsynchronous,
+		Trigger:         tr,
+		CoresPerReplica: 1,
+		StepsPerCycle:   6000,
+		Cycles:          40,
+		AsyncWindow:     100,
+		Seed:            42,
+	}
+	spec.Bus = core.NewBus()
+	col := analysis.New(analysis.ConfigFromSpec(spec))
+	col.Attach(spec.Bus, analysis.RunBuffer(spec))
+	cfg := cluster.SuperMIC()
+	cfg.ExecJitter = 0.08
+	cfg.FailureProb = 0
+	runVirtual(t, spec, cfg, 12, 2881)
+
+	if _, n := tr.Acceptance(); n < tr.WindowEvents {
+		t.Fatalf("controller never warmed up: %d outcomes", n)
+	}
+	st := col.Snapshot()
+	got := analysis.WeightedRatio(st.AcceptanceWindow[0])
+	if math.Abs(got-target) > 0.05 {
+		t.Fatalf("rolling neighbour acceptance %.3f, want within ±0.05 of %.2f", got, target)
+	}
+	// The controlled window must have settled inside its clamps.
+	if w := tr.Window(); w < 100.0/8-1e-9 || w > 100.0*8+1e-9 {
+		t.Fatalf("controlled window %v outside clamps", w)
+	}
+}

@@ -6,8 +6,8 @@
 // exchange-trigger criterion (the Trigger interface). The paper's two
 // patterns are the two canonical policies — BarrierTrigger (synchronous)
 // and WindowTrigger (asynchronous real-time window) — and further
-// criteria (CountTrigger, AdaptiveTrigger) are small policies rather
-// than forks of the core. The two Execution Modes (I: cores >= replicas,
+// criteria (CountTrigger, AdaptiveTrigger, FeedbackTrigger) are small
+// policies rather than forks of the core. The two Execution Modes (I: cores >= replicas,
 // II: cores < replicas) of Section 3.2.3 are derived from the ratio of
 // allocated cores to replicas.
 //
@@ -180,9 +180,9 @@ type Spec struct {
 	// Trigger optionally selects the exchange-trigger policy directly,
 	// overriding the Pattern-derived default. This is how criteria
 	// beyond the two canonical patterns (e.g. CountTrigger,
-	// AdaptiveTrigger) are chosen. Triggers carry per-run state, so a
-	// Trigger instance must not be shared by concurrently running
-	// simulations.
+	// AdaptiveTrigger, FeedbackTrigger) are chosen. Triggers carry
+	// per-run state, so a Trigger instance must not be shared by
+	// concurrently running simulations.
 	Trigger Trigger
 	// Seed drives all stochastic choices of the orchestrator.
 	Seed int64

@@ -1,0 +1,99 @@
+// Package ring provides the fixed-capacity rolling outcome window
+// shared by the acceptance-statistics consumers: the analysis
+// collector's per-pair windows and core.FeedbackTrigger's measurement
+// ring. One implementation means capacity-change and wrap-around
+// behaviour cannot drift between the dashboard's view and the
+// controller's.
+package ring
+
+import "fmt"
+
+// Bool is a rolling window over the most recent boolean outcomes: a
+// fixed-capacity ring plus a running true-count, so the windowed ratio
+// is O(1) to read. The struct serializes as-is (ring storage included)
+// so windows survive checkpoints; the zero value is an empty window.
+type Bool struct {
+	// Outcomes is the ring storage, allocated on first Push so empty
+	// windows serialize to nothing; Head indexes the oldest buffered
+	// outcome and N counts them.
+	Outcomes []bool `json:"outcomes,omitempty"`
+	Head     int    `json:"head,omitempty"`
+	N        int    `json:"n,omitempty"`
+	// Accepted counts the true outcomes currently buffered (named for
+	// the acceptance-window use both consumers put the ring to).
+	Accepted int `json:"accepted,omitempty"`
+}
+
+// Push records one outcome, evicting the oldest when the ring is full.
+// capacity sizes the ring on first use and is ignored once allocated.
+func (r *Bool) Push(accepted bool, capacity int) {
+	if len(r.Outcomes) == 0 {
+		r.Outcomes = make([]bool, capacity)
+	}
+	if r.N == len(r.Outcomes) {
+		if r.Outcomes[r.Head] {
+			r.Accepted--
+		}
+		r.Head = (r.Head + 1) % len(r.Outcomes)
+		r.N--
+	}
+	r.Outcomes[(r.Head+r.N)%len(r.Outcomes)] = accepted
+	r.N++
+	if accepted {
+		r.Accepted++
+	}
+}
+
+// Check validates the invariants of a ring restored from untrusted
+// serialized state: indices in range and the true-count consistent with
+// the buffered outcomes. Push assumes these hold, so a restore path
+// must reject violations instead of panicking mid-run later.
+func (r *Bool) Check() error {
+	if len(r.Outcomes) == 0 {
+		if r.Head != 0 || r.N != 0 || r.Accepted != 0 {
+			return fmt.Errorf("ring: empty storage with head=%d n=%d accepted=%d", r.Head, r.N, r.Accepted)
+		}
+		return nil
+	}
+	if r.N < 0 || r.N > len(r.Outcomes) || r.Head < 0 || r.Head >= len(r.Outcomes) {
+		return fmt.Errorf("ring: head=%d n=%d outside %d-slot storage", r.Head, r.N, len(r.Outcomes))
+	}
+	acc := 0
+	for i := 0; i < r.N; i++ {
+		if r.Outcomes[(r.Head+i)%len(r.Outcomes)] {
+			acc++
+		}
+	}
+	if acc != r.Accepted {
+		return fmt.Errorf("ring: accepted=%d, buffered outcomes hold %d", r.Accepted, acc)
+	}
+	return nil
+}
+
+// Linear returns the buffered outcomes oldest-first (the serialization
+// order of a controller state).
+func (r *Bool) Linear() []bool {
+	out := make([]bool, 0, r.N)
+	for i := 0; i < r.N; i++ {
+		out = append(out, r.Outcomes[(r.Head+i)%len(r.Outcomes)])
+	}
+	return out
+}
+
+// Rebuild re-rings the buffered outcomes into a ring of the given
+// capacity, keeping the newest entries when shrinking; used when
+// restoring a snapshot taken under a different window depth. An empty
+// ring is left alone: Push allocates at the new capacity.
+func (r *Bool) Rebuild(capacity int) {
+	if len(r.Outcomes) == 0 || len(r.Outcomes) == capacity {
+		return
+	}
+	lin := r.Linear()
+	if len(lin) > capacity {
+		lin = lin[len(lin)-capacity:]
+	}
+	*r = Bool{}
+	for _, v := range lin {
+		r.Push(v, capacity)
+	}
+}

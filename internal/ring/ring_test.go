@@ -1,0 +1,46 @@
+package ring
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPushEvictsOldest(t *testing.T) {
+	var r Bool
+	seq := []bool{true, false, true, true, false}
+	for _, v := range seq {
+		r.Push(v, 3)
+	}
+	if r.N != 3 || r.Accepted != 2 {
+		t.Fatalf("ring %d/%d, want 2/3 (last three of %v)", r.Accepted, r.N, seq)
+	}
+	if got := r.Linear(); !reflect.DeepEqual(got, []bool{true, true, false}) {
+		t.Fatalf("linear %v, want newest three oldest-first", got)
+	}
+}
+
+func TestRebuild(t *testing.T) {
+	var r Bool
+	for _, v := range []bool{true, true, false, true} {
+		r.Push(v, 4)
+	}
+	r.Rebuild(2)
+	if got := r.Linear(); !reflect.DeepEqual(got, []bool{false, true}) {
+		t.Fatalf("shrunk ring %v, want the newest two", got)
+	}
+	if r.Accepted != 1 {
+		t.Fatalf("accepted %d after shrink, want 1", r.Accepted)
+	}
+	// Growing keeps everything and leaves room.
+	r.Rebuild(5)
+	r.Push(true, 5)
+	if got := r.Linear(); !reflect.DeepEqual(got, []bool{false, true, true}) {
+		t.Fatalf("grown ring %v", got)
+	}
+	// Same capacity (and empty rings) are left untouched.
+	var empty Bool
+	empty.Rebuild(7)
+	if empty.Outcomes != nil || empty.N != 0 {
+		t.Fatalf("rebuild touched an empty ring: %+v", empty)
+	}
+}

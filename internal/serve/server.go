@@ -208,6 +208,31 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	fmt.Fprintf(&b, "# HELP repex_acceptance_ratio_window Acceptance ratio per neighbour pair over the last %d outcomes.\n", stats.WindowEvents)
+	fmt.Fprintf(&b, "# TYPE repex_acceptance_ratio_window gauge\n")
+	for d, pairs := range stats.AcceptanceWindow {
+		for i, p := range pairs {
+			// An empty window has no ratio: emitting 0 would trip
+			// low-acceptance alerts on pairs that merely lack data. The
+			// attempts gauge below conveys emptiness.
+			if p.Attempted == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "repex_acceptance_ratio_window{dim=\"%d\",pair=\"%d\"} %s\n",
+				d, i, fmtFloat(p.Ratio()))
+		}
+	}
+	fmt.Fprintf(&b, "# HELP repex_acceptance_window_attempts Outcomes currently buffered in each pair's rolling window.\n")
+	fmt.Fprintf(&b, "# TYPE repex_acceptance_window_attempts gauge\n")
+	for d, pairs := range stats.AcceptanceWindow {
+		for i, p := range pairs {
+			fmt.Fprintf(&b, "repex_acceptance_window_attempts{dim=\"%d\",pair=\"%d\"} %d\n",
+				d, i, p.Attempted)
+		}
+	}
+	gauge("repex_acceptance_window_events", "Configured rolling-window depth per pair.",
+		float64(stats.WindowEvents))
+
 	counter("repex_round_trips_total", "Completed ladder round trips over all replicas.",
 		uint64(stats.RoundTrips))
 	gauge("repex_round_trip_events_mean", "Mean round-trip duration in exchange events.",

@@ -132,12 +132,31 @@ func TestMetricsEndpointWellFormed(t *testing.T) {
 	}
 	for _, m := range []string{
 		"repex_exchange_events_total", "repex_md_segments_total",
-		"repex_pair_acceptance_ratio", "repex_md_exec_seconds",
+		"repex_pair_acceptance_ratio", "repex_acceptance_ratio_window",
+		"repex_acceptance_window_attempts", "repex_acceptance_window_events",
+		"repex_md_exec_seconds",
 		"repex_exchange_wall_seconds", "repex_bus_dropped_total",
 	} {
 		if _, ok := typed[m]; !ok {
 			t.Fatalf("metric %s missing a TYPE declaration", m)
 		}
+	}
+	if typed["repex_acceptance_ratio_window"] != "gauge" {
+		t.Fatalf("repex_acceptance_ratio_window typed %q, want gauge", typed["repex_acceptance_ratio_window"])
+	}
+	// The seeded collector attempted pair (0,1) once (accepted) and pair
+	// (2,3) once (rejected); the rolling window must show 1.0 for pair 0,
+	// and the untouched pair (1,2) must expose zero attempts but NO ratio
+	// sample — an empty window has no ratio, and 0 would read as
+	// collapsed acceptance.
+	if !strings.Contains(body, "repex_acceptance_ratio_window{dim=\"0\",pair=\"0\"} 1\n") {
+		t.Fatal("windowed acceptance ratio for pair (0,1) missing or wrong")
+	}
+	if !strings.Contains(body, "repex_acceptance_window_attempts{dim=\"0\",pair=\"1\"} 0\n") {
+		t.Fatal("windowed attempts for the untouched pair (1,2) missing or wrong")
+	}
+	if strings.Contains(body, "repex_acceptance_ratio_window{dim=\"0\",pair=\"1\"}") {
+		t.Fatal("empty window emitted a ratio sample for pair (1,2)")
 	}
 	if typed["repex_md_exec_seconds"] != "histogram" {
 		t.Fatalf("repex_md_exec_seconds typed %q, want histogram", typed["repex_md_exec_seconds"])

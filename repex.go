@@ -10,7 +10,8 @@
 //   - Replica Exchange Patterns: PatternSynchronous and
 //     PatternAsynchronous (Spec.Pattern), both expressed as pluggable
 //     exchange-trigger policies (Trigger, Spec.Trigger) alongside
-//     CountTrigger and AdaptiveTrigger;
+//     CountTrigger, AdaptiveTrigger and the closed-loop
+//     FeedbackTrigger;
 //   - the pilot-job system: NewVirtualRuntime allocates a pilot on a
 //     simulated machine and runs workloads in virtual time;
 //   - flexible Execution Modes: Mode I/II are derived automatically from
@@ -99,6 +100,9 @@ type (
 	CountTrigger = core.CountTrigger
 	// AdaptiveTrigger is a window that tracks MD-time dispersion.
 	AdaptiveTrigger = core.AdaptiveTrigger
+	// FeedbackTrigger steers its window with proportional control to
+	// hold a target neighbour-pair acceptance ratio.
+	FeedbackTrigger = core.FeedbackTrigger
 )
 
 // NewBarrierTrigger returns the synchronous-pattern policy.
@@ -119,6 +123,13 @@ func NewCountTrigger(count int) *CountTrigger { return core.NewCountTrigger(coun
 // observed MD-time dispersion, starting from the given initial window.
 func NewAdaptiveTrigger(initial float64) *AdaptiveTrigger {
 	return core.NewAdaptiveTrigger(initial)
+}
+
+// NewFeedbackTrigger returns a closed-loop policy that widens/narrows
+// its window to hold a target acceptance ratio, starting from the given
+// initial window; see core.FeedbackTrigger for the knobs.
+func NewFeedbackTrigger(initial float64) *FeedbackTrigger {
+	return core.NewFeedbackTrigger(initial)
 }
 
 // Fault policies.
