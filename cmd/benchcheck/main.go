@@ -19,6 +19,14 @@
 // Baselines are machine-specific: regenerate with -write when the CI
 // runner class changes. The GOMAXPROCS suffix (-8) is stripped from
 // benchmark names so a baseline survives runner core-count changes.
+//
+// Alongside the absolute-ns medians, the baseline may carry
+// machine-independent ratio gates ("ratios": [{"num": ..., "den": ...,
+// "max": 1.05}]): the median ratio of two benchmarks from the same run
+// must stay below the bound. Ratios survive runner upgrades without
+// baseline churn (e.g. the observability bus may cost at most 5% over
+// the bare dispatcher, on any hardware) and are carried over verbatim
+// by -write.
 package main
 
 import (
@@ -45,6 +53,22 @@ type Baseline struct {
 	// Benchmarks maps benchmark name (GOMAXPROCS suffix stripped) to
 	// the median metric value.
 	Benchmarks map[string]float64 `json:"benchmarks"`
+	// Ratios are machine-independent companion gates: unlike the
+	// absolute medians above (runner-class specific, churned by
+	// hardware changes), a ratio of two benchmarks measured in the same
+	// run survives runner upgrades. -write carries them over verbatim.
+	Ratios []RatioGate `json:"ratios,omitempty"`
+}
+
+// RatioGate bounds the median ratio of two benchmarks from the same
+// run: median(Num)/median(Den) must stay below Max.
+type RatioGate struct {
+	// Num and Den are benchmark names (GOMAXPROCS suffix stripped).
+	Num string `json:"num"`
+	Den string `json:"den"`
+	// Max is the exclusive upper bound on the ratio (e.g. 1.05: the
+	// numerator may cost at most 5% more than the denominator).
+	Max float64 `json:"max"`
 }
 
 // testEvent is the subset of `go test -json` events we consume.
@@ -175,6 +199,32 @@ func gate(base *Baseline, cur map[string][]float64, threshold float64) (report [
 		report = append(report, fmt.Sprintf("note %-44s median %10.1f (not in baseline; add with -write)",
 			name, median(cur[name])))
 	}
+	rr, rf := gateRatios(base.Ratios, cur)
+	return append(report, rr...), append(failed, rf...)
+}
+
+// gateRatios checks the machine-independent ratio gates against the
+// run's medians. A gate whose members are missing from the run fails,
+// like a missing absolute benchmark: a silently unmeasured ratio is
+// not a pass.
+func gateRatios(gates []RatioGate, cur map[string][]float64) (report []string, failed []string) {
+	for _, g := range gates {
+		label := g.Num + "/" + g.Den
+		num, okN := cur[g.Num]
+		den, okD := cur[g.Den]
+		if !okN || !okD || len(num) == 0 || len(den) == 0 {
+			report = append(report, fmt.Sprintf("FAIL %-44s ratio gate member missing from this run", label))
+			failed = append(failed, label)
+			continue
+		}
+		ratio := median(num) / median(den)
+		verdict := "ok  "
+		if ratio >= g.Max {
+			verdict = "FAIL"
+			failed = append(failed, label)
+		}
+		report = append(report, fmt.Sprintf("%s %-44s ratio %6.3f  (bound < %.3f)", verdict, label, ratio, g.Max))
+	}
 	return report, failed
 }
 
@@ -215,6 +265,15 @@ func run() error {
 		base := Baseline{Metric: *metric, Threshold: th, Benchmarks: map[string]float64{}}
 		for name, vs := range cur {
 			base.Benchmarks[name] = median(vs)
+		}
+		// Regenerating absolute medians (machine-specific) must not drop
+		// the ratio gates (machine-independent): carry them over from
+		// the baseline being replaced.
+		if old, err := os.ReadFile(*writePath); err == nil {
+			var prev Baseline
+			if json.Unmarshal(old, &prev) == nil {
+				base.Ratios = prev.Ratios
+			}
 		}
 		data, err := json.MarshalIndent(&base, "", " ")
 		if err != nil {

@@ -89,3 +89,51 @@ func TestMedianEvenCount(t *testing.T) {
 		t.Fatalf("median %v, want 2.5", m)
 	}
 }
+
+// ratioStream is a synthetic run where the bus benchmark costs 4% over
+// the bare dispatcher at 64 replicas (passes a 1.05 gate) and 30% over
+// at 256 (fails it).
+const ratioStream = `{"Action":"output","Package":"repro","Output":"BenchmarkDispatcher/64/window-8 \t      10\t  52000 ns/op\t  10000 ns/completion\n"}
+{"Action":"output","Package":"repro","Output":"BenchmarkDispatcher/64/window-8 \t      10\t  52000 ns/op\t  10200 ns/completion\n"}
+{"Action":"output","Package":"repro","Output":"BenchmarkDispatcher/64/window-8 \t      10\t  52000 ns/op\t  9800 ns/completion\n"}
+{"Action":"output","Package":"repro","Output":"BenchmarkDispatcherBus/64/window-8 \t      10\t  60000 ns/op\t  10400 ns/completion\n"}
+{"Action":"output","Package":"repro","Output":"BenchmarkDispatcher/256/window-8 \t      10\t  52000 ns/op\t  10000 ns/completion\n"}
+{"Action":"output","Package":"repro","Output":"BenchmarkDispatcherBus/256/window-8 \t      10\t  60000 ns/op\t  13000 ns/completion\n"}
+`
+
+// TestRatioGate: the machine-independent companion gate bounds
+// median(num)/median(den), fails on breach or on members missing from
+// the run, and rides through gate() alongside the absolute medians.
+func TestRatioGate(t *testing.T) {
+	cur := parse(t, ratioStream, "ns/completion")
+
+	base := &Baseline{Ratios: []RatioGate{
+		{Num: "BenchmarkDispatcherBus/64/window", Den: "BenchmarkDispatcher/64/window", Max: 1.05},
+	}}
+	report, failed := gate(base, cur, 0.15)
+	if len(failed) != 0 {
+		t.Fatalf("4%% bus overhead failed the 1.05 ratio gate: %v", report)
+	}
+
+	base.Ratios = append(base.Ratios,
+		RatioGate{Num: "BenchmarkDispatcherBus/256/window", Den: "BenchmarkDispatcher/256/window", Max: 1.05})
+	_, failed = gate(base, cur, 0.15)
+	if len(failed) != 1 || !strings.Contains(failed[0], "256") {
+		t.Fatalf("30%% bus overhead passed the 1.05 ratio gate: failed=%v", failed)
+	}
+
+	// A tighter bound flips the passing pair too: the gate really reads
+	// the measured ratio (10400/10000 = 1.04).
+	base.Ratios[0].Max = 1.03
+	_, failed = gate(base, cur, 0.15)
+	if len(failed) != 2 {
+		t.Fatalf("1.03 bound kept the 1.04 ratio: failed=%v", failed)
+	}
+
+	// Members missing from the run fail, like missing benchmarks.
+	base.Ratios = []RatioGate{{Num: "BenchmarkNope", Den: "BenchmarkDispatcher/64/window", Max: 1.05}}
+	_, failed = gate(base, cur, 0.15)
+	if len(failed) != 1 {
+		t.Fatalf("missing ratio member passed: failed=%v", failed)
+	}
+}

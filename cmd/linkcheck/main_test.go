@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// write creates a file under dir, creating parents.
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDeadLinksFindsMissingRelativeTargets(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "docs/real.md", "# ok\n")
+	md := write(t, dir, "index.md", strings.Join([]string{
+		"[good](docs/real.md) and [anchored](docs/real.md#section)",
+		"[external](https://example.org/nope) [mail](mailto:a@b.c) [anchor](#here)",
+		"```",
+		"[not a link in a fence](missing-in-fence.md)",
+		"```",
+		"[dead](docs/missing.md) and [also dead](../outside.md)",
+	}, "\n"))
+
+	dead, err := deadLinks(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dead) != 2 {
+		t.Fatalf("found %d dead links, want 2: %v", len(dead), dead)
+	}
+	for _, d := range dead {
+		if !strings.Contains(d, ":6:") {
+			t.Fatalf("dead link %q not attributed to line 6", d)
+		}
+	}
+}
+
+func TestRunWalksDirectoriesAndFails(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "README.md", "[docs](docs/a.md)\n")
+	write(t, dir, "docs/a.md", "[back](../README.md)\n")
+	if err := run([]string{filepath.Join(dir, "README.md"), filepath.Join(dir, "docs")}); err != nil {
+		t.Fatalf("healthy tree failed: %v", err)
+	}
+
+	write(t, dir, "docs/b.md", "[gone](nowhere.md)\n")
+	err := run([]string{filepath.Join(dir, "docs")})
+	if err == nil {
+		t.Fatal("dead link did not fail the run")
+	}
+	if !strings.Contains(err.Error(), "nowhere.md") {
+		t.Fatalf("failure does not name the dead target: %v", err)
+	}
+}

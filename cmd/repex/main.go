@@ -68,14 +68,22 @@ func main() {
 	ckptEvery := flag.Int("checkpoint-every", 1, "exchange events between checkpoints")
 	listen := flag.String("listen", "", "host:port for the live status server (overrides the sim file's serve block)")
 	trigger := flag.String("trigger", "", "exchange-trigger policy override: barrier, window, count, adaptive or feedback")
-	targetAcc := flag.Float64("target-acceptance", 0, "feedback trigger acceptance set point in [0,1); 0 keeps the sim file's value or the built-in default (requires the feedback trigger)")
+	targetAcc := flag.String("target-acceptance", "", "feedback trigger acceptance set point: a scalar in (0,1) or a per-dimension JSON map like '{\"T\":0.4,\"U\":0.25}'; empty keeps the sim file's value (requires the feedback trigger)")
 	windowEvents := flag.Int("window-events", 0, "rolling-window depth for pair statistics and the feedback trigger (overrides the sim file)")
 	flag.Parse()
 	if *simPath == "" || *resPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	ov := overrides{trigger: *trigger, targetAcceptance: *targetAcc, windowEvents: *windowEvents}
+	ov := overrides{trigger: *trigger, windowEvents: *windowEvents}
+	if *targetAcc != "" {
+		ta, err := parseTargetAcceptance(*targetAcc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "repex:", err)
+			os.Exit(2)
+		}
+		ov.targetAcceptance = &ta
+	}
 	if err := run(*simPath, *resPath, *resumePath, *ckptPath, *ckptEvery, *listen, ov); err != nil {
 		fmt.Fprintln(os.Stderr, "repex:", err)
 		os.Exit(1)
@@ -86,8 +94,25 @@ func main() {
 // simulation file's trigger fields.
 type overrides struct {
 	trigger          string
-	targetAcceptance float64
+	targetAcceptance *config.TargetAcceptance
 	windowEvents     int
+}
+
+// parseTargetAcceptance parses the -target-acceptance flag: the same
+// two forms the config file accepts (scalar or per-dimension map),
+// routed through the config type so validation lives in one place. A
+// zero value is rejected rather than silently overriding the sim
+// file's set point with the built-in default — leaving the flag off is
+// the "keep the file's value" form.
+func parseTargetAcceptance(arg string) (config.TargetAcceptance, error) {
+	var ta config.TargetAcceptance
+	if err := ta.UnmarshalJSON([]byte(arg)); err != nil {
+		return ta, fmt.Errorf("-target-acceptance %q: want a number or a JSON map like {\"T\":0.4}: %v", arg, err)
+	}
+	if ta.IsZero() {
+		return ta, fmt.Errorf("-target-acceptance %q: want a value in (0,1) or a non-empty map; omit the flag to keep the sim file's value", arg)
+	}
+	return ta, nil
 }
 
 func run(simPath, resPath, resumePath, ckptPath string, ckptEvery int, listen string, ov overrides) error {
@@ -106,8 +131,8 @@ func run(simPath, resPath, resumePath, ckptPath string, ckptEvery int, listen st
 	if ov.trigger != "" {
 		simFile.Trigger = ov.trigger
 	}
-	if ov.targetAcceptance != 0 {
-		simFile.TargetAcceptance = ov.targetAcceptance
+	if ov.targetAcceptance != nil {
+		simFile.TargetAcceptance = *ov.targetAcceptance
 	}
 	if ov.windowEvents != 0 {
 		simFile.WindowEvents = ov.windowEvents
@@ -174,6 +199,7 @@ func run(simPath, resPath, resumePath, ckptPath string, ckptEvery int, listen st
 	}
 
 	triggerName := spec.TriggerName()
+	feedback, _ := spec.Trigger.(*core.FeedbackTrigger)
 
 	var state atomic.Value // "pending" | "running" | "completed" | "failed"
 	state.Store("pending")
@@ -182,7 +208,7 @@ func run(simPath, resPath, resumePath, ckptPath string, ckptEvery int, listen st
 	var server *serve.Server
 	if listen != "" {
 		server = serve.New(col, func() serve.RunStatus {
-			return serve.RunStatus{
+			st := serve.RunStatus{
 				Name:         spec.Name,
 				Engine:       simFile.Engine,
 				Trigger:      triggerName,
@@ -193,6 +219,12 @@ func run(simPath, resPath, resumePath, ckptPath string, ckptEvery int, listen st
 				BusPublished: spec.Bus.Published(),
 				Error:        runFailure.Load().(string),
 			}
+			if feedback != nil {
+				// ControllerStatus is mutex-guarded inside the trigger,
+				// so the live scrape is race-free against the dispatcher.
+				st.Feedback = feedback.ControllerStatus()
+			}
+			return st
 		})
 		addr, err := server.Start(listen)
 		if err != nil {
@@ -289,6 +321,15 @@ func run(simPath, resPath, resumePath, ckptPath string, ckptEvery int, listen st
 		if stats.BusDropped > 0 {
 			fmt.Fprintf(os.Stderr, "repex: warning: collector lost %d events to ring overflow; statistics are partial\n",
 				stats.BusDropped)
+		}
+	}
+	if feedback != nil {
+		for _, ds := range feedback.ControllerStatus() {
+			fmt.Printf("  feedback dim %d: target %.2f, measured %.2f over %d outcomes, window %.1fs, min-ready %d\n",
+				ds.Dim, ds.Target, ds.Measured, ds.Outcomes, ds.Window, ds.MinReady)
+			if ds.Saturated {
+				fmt.Printf("    SATURATED: target unreachable at the window clamp — revisit the dim-%d ladder spacing\n", ds.Dim)
+			}
 		}
 	}
 	if server != nil {

@@ -13,6 +13,13 @@
 // internal clock is the exchange-event index, not virtual seconds — a
 // resumed run replays the same event sequence even though its absolute
 // runtime times shift by a fresh batch-queue wait.
+//
+// The rolling per-pair windows (Stats.AcceptanceWindow, the last
+// WindowEvents outcomes of each neighbour pair) are the observable
+// counterpart of the signal core.FeedbackTrigger steers on: the
+// trigger measures per dimension over the same ring structure
+// (internal/ring), so the dashboard's rolling view and the
+// controller's measurement cannot drift apart.
 package analysis
 
 import (

@@ -5,6 +5,7 @@
 package config
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 
@@ -34,8 +35,14 @@ type Simulation struct {
 	// TriggerCount is the ready-replica threshold of the "count" trigger.
 	TriggerCount int `json:"trigger_count,omitempty"`
 	// TargetAcceptance is the "feedback" trigger's acceptance-ratio set
-	// point in (0, 1); 0 selects the built-in default.
-	TargetAcceptance float64 `json:"target_acceptance,omitempty"`
+	// point: either a scalar in (0, 1) applied to every exchange
+	// dimension (0 selects the built-in default), or a per-dimension
+	// map keyed by dimension type code, e.g.
+	// {"T": 0.4, "U": 0.25} — a code's target applies to every
+	// dimension of that type; codes matching no dimension are rejected.
+	// Dimensions a partial map does not cover remain under acceptance
+	// control at the built-in default.
+	TargetAcceptance TargetAcceptance `json:"target_acceptance,omitempty"`
 	// WindowEvents is the rolling measurement window of the "feedback"
 	// trigger and the analysis collector: the number of recent
 	// neighbour-pair outcomes statistics are computed over (0 selects
@@ -52,6 +59,42 @@ type Simulation struct {
 	// cmd/repex (GET /status, /stats, /metrics). The -listen flag
 	// overrides it.
 	Serve *Serve `json:"serve,omitempty"`
+}
+
+// TargetAcceptance is the acceptance set point of the feedback
+// trigger: one scalar shared by every exchange dimension, or a
+// per-dimension-type map ({"T": 0.4, "U": 0.25}). The zero value means
+// "not configured".
+type TargetAcceptance struct {
+	// Scalar is the shared set point (scalar JSON form).
+	Scalar float64
+	// PerDim maps dimension type codes (T, U, S, H) to set points
+	// (object JSON form).
+	PerDim map[string]float64
+}
+
+// UnmarshalJSON accepts both forms: a bare number or an object keyed
+// by dimension code.
+func (t *TargetAcceptance) UnmarshalJSON(data []byte) error {
+	*t = TargetAcceptance{}
+	trimmed := bytes.TrimSpace(data)
+	if len(trimmed) > 0 && trimmed[0] == '{' {
+		return json.Unmarshal(trimmed, &t.PerDim)
+	}
+	return json.Unmarshal(trimmed, &t.Scalar)
+}
+
+// MarshalJSON writes the form that was configured.
+func (t TargetAcceptance) MarshalJSON() ([]byte, error) {
+	if len(t.PerDim) > 0 {
+		return json.Marshal(t.PerDim)
+	}
+	return json.Marshal(t.Scalar)
+}
+
+// IsZero reports an unconfigured set point.
+func (t TargetAcceptance) IsZero() bool {
+	return t.Scalar == 0 && len(t.PerDim) == 0
 }
 
 // Serve configures the observability endpoint.
@@ -148,6 +191,16 @@ func (s *Simulation) ToSpec() (*core.Spec, error) {
 	default:
 		return nil, fmt.Errorf("config: unknown pattern %q (want sync or async)", s.Pattern)
 	}
+	// Dimensions are resolved before the trigger: per-dimension feedback
+	// targets are keyed by dimension type code and validated against the
+	// actual grid.
+	for i, d := range s.Dimensions {
+		dim, err := d.toDimension()
+		if err != nil {
+			return nil, fmt.Errorf("config: dimension %d: %v", i, err)
+		}
+		spec.Dims = append(spec.Dims, dim)
+	}
 	switch s.Trigger {
 	case "":
 		// Derived from Pattern.
@@ -178,13 +231,18 @@ func (s *Simulation) ToSpec() (*core.Spec, error) {
 		if s.AsyncWindowSec <= 0 {
 			return nil, fmt.Errorf("config: trigger \"feedback\" requires a positive async_window_sec as the initial window")
 		}
-		if s.TargetAcceptance < 0 || s.TargetAcceptance >= 1 {
+		if s.TargetAcceptance.Scalar < 0 || s.TargetAcceptance.Scalar >= 1 {
 			return nil, fmt.Errorf("config: target_acceptance %g outside [0, 1) (0 selects the default %g)",
-				s.TargetAcceptance, core.DefaultTargetAcceptance)
+				s.TargetAcceptance.Scalar, core.DefaultTargetAcceptance)
 		}
 		spec.Pattern = core.PatternAsynchronous
 		fb := core.NewFeedbackTrigger(s.AsyncWindowSec)
-		fb.Target = s.TargetAcceptance
+		fb.Target = s.TargetAcceptance.Scalar
+		targets, err := s.TargetAcceptance.perDimTargets(spec.Dims)
+		if err != nil {
+			return nil, err
+		}
+		fb.Targets = targets
 		fb.WindowEvents = s.WindowEvents
 		fb.MinReady = s.AsyncMinReady
 		spec.Trigger = fb
@@ -197,7 +255,7 @@ func (s *Simulation) ToSpec() (*core.Spec, error) {
 	// (window_events stays valid everywhere: it also sizes the analysis
 	// collector's rolling statistics — but negative depths are nonsense
 	// under any trigger.)
-	if s.TargetAcceptance != 0 && s.Trigger != "feedback" {
+	if !s.TargetAcceptance.IsZero() && s.Trigger != "feedback" {
 		return nil, fmt.Errorf("config: target_acceptance is set but trigger is %q; acceptance control requires \"trigger\": \"feedback\"",
 			spec.TriggerName())
 	}
@@ -212,17 +270,43 @@ func (s *Simulation) ToSpec() (*core.Spec, error) {
 	default:
 		return nil, fmt.Errorf("config: unknown fault policy %q", s.FaultPolicy)
 	}
-	for i, d := range s.Dimensions {
-		dim, err := d.toDimension()
-		if err != nil {
-			return nil, fmt.Errorf("config: dimension %d: %v", i, err)
-		}
-		spec.Dims = append(spec.Dims, dim)
-	}
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	return spec, nil
+}
+
+// perDimTargets resolves the per-dimension-code map against the actual
+// exchange dimensions: a code's target applies to every dimension of
+// that type. Unknown codes and out-of-range ratios are configuration
+// errors — a silently ignored target would leave the user believing a
+// ladder is under acceptance control when it is not.
+func (t TargetAcceptance) perDimTargets(dims []core.Dimension) ([]float64, error) {
+	if len(t.PerDim) == 0 {
+		return nil, nil
+	}
+	targets := make([]float64, len(dims))
+	for code, v := range t.PerDim {
+		typ, err := exchange.ParseType(code)
+		if err != nil {
+			return nil, fmt.Errorf("config: target_acceptance key %q is not a dimension code: %v", code, err)
+		}
+		if v <= 0 || v >= 1 {
+			return nil, fmt.Errorf("config: target_acceptance[%q] = %g outside (0, 1)", code, v)
+		}
+		matched := false
+		for i, d := range dims {
+			if d.Type == typ {
+				targets[i] = v
+				matched = true
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("config: target_acceptance names dimension code %q, but the simulation has no %s dimension",
+				code, typ)
+		}
+	}
+	return targets, nil
 }
 
 func (d Dim) toDimension() (core.Dimension, error) {

@@ -3,6 +3,7 @@ package config
 import (
 	"fmt"
 	"math"
+	"reflect"
 	"testing"
 
 	"repro/internal/core"
@@ -262,5 +263,75 @@ func TestServeBlockRequiresListen(t *testing.T) {
 	}`))
 	if err == nil {
 		t.Fatal("serve block without a listen address accepted")
+	}
+}
+
+// TestPerDimTargetAcceptance: the map form of target_acceptance
+// resolves per dimension by type code (a code covering every dimension
+// of that type), back-compat with the scalar form is preserved, and
+// malformed maps — unknown dimension codes, out-of-range ratios,
+// non-feedback triggers — are rejected at parse time.
+func TestPerDimTargetAcceptance(t *testing.T) {
+	base := `{"name":"x",
+	  "dimensions":[{"type":"T","count":4,"min":280,"max":340},
+	                {"type":"U","count":4,"torsion":"phi"},
+	                {"type":"U","count":3,"torsion":"psi"}],
+	  "cores_per_replica":1,"steps_per_cycle":1000,"cycles":2,
+	  "trigger":"feedback","async_window_sec":45,
+	  "target_acceptance":%s}`
+
+	s, err := ParseSimulation([]byte(fmt.Sprintf(base, `{"T":0.4,"U":0.25}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := s.ToSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := spec.Trigger.(*core.FeedbackTrigger)
+	if want := []float64{0.4, 0.25, 0.25}; !reflect.DeepEqual(fb.Targets, want) {
+		t.Fatalf("per-dim targets %v, want %v (U covers both umbrella dims)", fb.Targets, want)
+	}
+	if fb.Target != 0 {
+		t.Fatalf("scalar target %v alongside a map, want 0", fb.Target)
+	}
+
+	// Scalar form still parses (back-compat).
+	s, err = ParseSimulation([]byte(fmt.Sprintf(base, `0.35`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err = s.ToSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb := spec.Trigger.(*core.FeedbackTrigger); fb.Target != 0.35 || fb.Targets != nil {
+		t.Fatalf("scalar form parsed as %v/%v", fb.Target, fb.Targets)
+	}
+
+	for _, tc := range []struct {
+		name string
+		ta   string
+	}{
+		{"unknown dim code", `{"T":0.4,"Q":0.3}`},
+		{"code without a dimension", `{"T":0.4,"S":0.3}`},
+		{"ratio at 1", `{"T":1.0}`},
+		{"ratio at 0", `{"T":0}`},
+		{"negative ratio", `{"U":-0.2}`},
+	} {
+		if _, err := ParseSimulation([]byte(fmt.Sprintf(base, tc.ta))); err == nil {
+			t.Fatalf("%s: accepted target_acceptance %s", tc.name, tc.ta)
+		}
+	}
+
+	// The map form is rejected on non-feedback triggers exactly like
+	// the scalar form: silently dead acceptance control is worse than
+	// an error.
+	bad := `{"name":"x",
+	  "dimensions":[{"type":"T","count":4,"min":280,"max":340}],
+	  "cores_per_replica":1,"steps_per_cycle":1000,"cycles":2,
+	  "trigger":"barrier","target_acceptance":{"T":0.4}}`
+	if _, err := ParseSimulation([]byte(bad)); err == nil {
+		t.Fatal("per-dim target_acceptance accepted under the barrier trigger")
 	}
 }

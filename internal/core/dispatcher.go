@@ -124,6 +124,10 @@ func (s *Simulation) dispatch(tr Trigger) error {
 			Now:     s.rt.Now(),
 			Pending: pending,
 			Alive:   alive,
+			// dim already points at the upcoming exchange's dimension:
+			// fires advance it before Reset opens the next window, so
+			// per-dimension policies steer the right actuator pair.
+			Dim: dim,
 		}
 		if aligned {
 			st.Ready = done

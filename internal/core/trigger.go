@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/ring"
 	"repro/internal/task"
@@ -25,6 +26,11 @@ type TriggerState struct {
 	ReadyBudget int
 	// Alive counts live replicas.
 	Alive int
+	// Dim is the exchange dimension the next fire will exchange along.
+	// Multi-dimensional grids rotate dimensions round-robin, and
+	// per-dimension policies (FeedbackTrigger) pick that dimension's
+	// actuator settings from it.
+	Dim int
 }
 
 // TriggerDecision is a trigger policy's verdict for the current
@@ -408,40 +414,80 @@ const DefaultTargetAcceptance = 0.3
 
 // FeedbackTrigger is a window trigger that closes the loop on the
 // quantity REMD is actually judged by: the neighbour-pair acceptance
-// ratio. It keeps a rolling window of the last WindowEvents
-// true-neighbour exchange outcomes (fed by the dispatcher through the
-// ExchangeObserver hook) and steers its exchange window with
-// proportional control to hold Target:
+// ratio. The dispatcher feeds it every exchange event's outcomes
+// through the ExchangeObserver hook, and it runs one independent PI
+// controller per exchange dimension: a temperature ladder and an
+// umbrella ladder have very different natural acceptance, so a
+// multi-dimensional grid (the paper's TSU/TUU runs) must not steer
+// both with one blended measurement. Each dimension owns a rolling
+// measurement ring of its last WindowEvents true-neighbour outcomes
+// and an actuator pair — the exchange window opened before that
+// dimension's fires, plus a steered MinReady threshold — and the
+// control step is
 //
-//	window *= 1 + Gain·(Target - measured)
+//	window *= 1 + Gain·err + IntegralGain·∑err,   err = target − measured
 //
 // clamped per step and to [MinWindow, MaxWindow]. Measured acceptance
 // below the target widens the window — more replicas make each
 // exchange, ready subsets stay contiguous and fewer attempts straddle
 // window gaps — while acceptance above it narrows the window so ready
-// replicas exchange (and re-enter MD) sooner. A deadband around the
-// target (Deadband) provides hysteresis so measurement noise does not
-// jitter the window, and gap pairs (Hi > Lo+1, bridging dead replicas
-// or ready-subset holes) never enter the measurement, so the controller
-// cannot chase dead-replica artifacts.
+// replicas exchange (and re-enter MD) sooner. The integral term
+// removes the steady-state error a pure-P controller leaves inside the
+// deadband; it accumulates only while the window is strictly inside
+// its clamps (anti-windup), so a long saturated stretch cannot wind up
+// a correction that would overshoot for dozens of events after
+// conditions change.
 //
-// Until the outcome window has filled once, the policy falls back to
-// AdaptiveTrigger behaviour: the window tracks mean + 2σ of the
+// When a dimension's window is pinned at a clamp for SaturationSteps
+// consecutive control steps with the error still outside the deadband,
+// the plant cannot reach the set point — typically the ladder spacing
+// yields a natural acceptance far from the target. Instead of silently
+// parking, the controller raises a per-dimension saturation diagnostic
+// (ControllerStatus, surfaced on /status and as the
+// repex_feedback_saturated{dim} gauge) and engages its second
+// actuator: pinned wide with acceptance still below target it disables
+// early firing (MinReady 0) so every boundary collects the largest
+// possible subset; pinned narrow with acceptance still above target it
+// drops MinReady to 2 so exchanges fire the moment an exchangeable
+// pair exists. The diagnostic clears as soon as the measurement
+// returns to the deadband or the window comes off its clamp.
+//
+// A Deadband around the target provides hysteresis so measurement
+// noise does not jitter the window, and gap pairs (Hi > Lo+1,
+// bridging dead replicas or ready-subset holes) never enter the
+// measurement, so the controller cannot chase dead-replica artifacts.
+// Until a dimension's ring has filled once, that dimension falls back
+// to AdaptiveTrigger behaviour: the window tracks mean + 2σ of the
 // observed MD execution times, giving the controller a sane operating
 // point to take over from.
 type FeedbackTrigger struct {
 	// Initial is the window used until enough data accumulates.
 	Initial float64
-	// Target is the acceptance-ratio set point (default
+	// Target is the acceptance-ratio set point shared by every
+	// dimension without a per-dimension override (default
 	// DefaultTargetAcceptance).
 	Target float64
+	// Targets optionally overrides the set point per exchange
+	// dimension (index = dimension index); entries <= 0 fall back to
+	// Target. A nil slice applies Target everywhere.
+	Targets []float64
 	// WindowEvents is the rolling measurement window: the number of
-	// recent neighbour-pair outcomes acceptance is computed over
-	// (default 64).
+	// recent neighbour-pair outcomes each dimension's acceptance is
+	// computed over (default 64).
 	WindowEvents int
 	// Gain is the proportional gain: relative window change per unit of
 	// acceptance error (default 1.5).
 	Gain float64
+	// IntegralGain is the integral gain: relative window change per
+	// unit of accumulated acceptance error (default 0.1).
+	IntegralGain float64
+	// IntegralClamp bounds the accumulated error (anti-windup, default
+	// 3).
+	IntegralClamp float64
+	// SaturationSteps is the number of consecutive clamp-pinned control
+	// steps after which a dimension raises its saturation diagnostic
+	// (default 8).
+	SaturationSteps int
 	// Deadband is the hysteresis half-width: errors within ±Deadband of
 	// the target leave the window unchanged (default 0.02).
 	Deadband float64
@@ -450,22 +496,75 @@ type FeedbackTrigger struct {
 	// the controller is expected to explore).
 	MinWindow, MaxWindow float64
 	// MinReady, when positive, fires early once that many replicas are
-	// ready (as in WindowTrigger).
+	// ready (as in WindowTrigger). It is the base value of the second
+	// actuator: saturated dimensions override it until they recover.
 	MinReady int
 
+	// mu guards warm and dims: the dispatcher mutates them between
+	// events while status readers (the live HTTP server) snapshot
+	// ControllerStatus concurrently.
+	mu sync.Mutex
+
 	// warm is the warm-up dispersion estimate over observed MD
-	// execution times (the AdaptiveTrigger fallback).
+	// execution times (the AdaptiveTrigger fallback). MD segment times
+	// are not dimension-specific, so it is shared.
 	warm execStats
 
-	// win is the rolling window of neighbour-pair outcomes, the same
-	// ring structure the analysis collector keeps per pair.
-	win ring.Bool
+	// dims holds one controller per exchange dimension, grown lazily as
+	// dimensions are observed.
+	dims []feedbackDim
 
+	windowEnd float64
+}
+
+// feedbackDim is one dimension's controller state.
+type feedbackDim struct {
+	// win is the rolling ring of this dimension's neighbour-pair
+	// outcomes, the same structure the analysis collector keeps per
+	// pair.
+	win ring.Bool
 	// cur is the controlled window length; valid once active.
 	cur    float64
 	active bool
+	// integ is the accumulated acceptance error (the I term), clamped
+	// to ±IntegralClamp.
+	integ float64
+	// satRun counts consecutive control steps pinned at a clamp with
+	// the error outside the deadband; saturated raises at
+	// SaturationSteps.
+	satRun    int
+	saturated bool
+	// minReadyOverride is the second actuator: -1 follows the base
+	// MinReady, otherwise it replaces it while the dimension is
+	// saturated.
+	minReadyOverride int
+}
 
-	windowEnd float64
+// FeedbackDimStatus is one dimension's controller state as exposed to
+// status surfaces (cmd/repex /status, the repex_feedback_* gauges).
+type FeedbackDimStatus struct {
+	// Dim is the exchange dimension index.
+	Dim int `json:"dim"`
+	// Target is the dimension's acceptance set point.
+	Target float64 `json:"target"`
+	// Measured is the rolling acceptance over Outcomes buffered
+	// outcomes (0 while empty).
+	Measured float64 `json:"measured"`
+	Outcomes int     `json:"outcomes"`
+	// Window is the exchange window the next fire along this dimension
+	// would open.
+	Window float64 `json:"window_sec"`
+	// MinReady is the dimension's effective early-fire threshold after
+	// second-actuator steering.
+	MinReady int `json:"min_ready"`
+	// Integral is the accumulated acceptance error (the I term).
+	Integral float64 `json:"integral"`
+	// Active reports that the measurement ring has filled and the
+	// controller has taken over from the warm-up window.
+	Active bool `json:"active"`
+	// Saturated reports the ladder-spacing diagnostic: the window is
+	// pinned at a clamp and the target remains unreachable.
+	Saturated bool `json:"saturated"`
 }
 
 // NewFeedbackTrigger returns an acceptance-targeting policy starting
@@ -483,11 +582,23 @@ func (t *FeedbackTrigger) Validate() error {
 		return fmt.Errorf("feedback trigger target acceptance %g outside [0, 1) (0 selects the default %g)",
 			t.Target, DefaultTargetAcceptance)
 	}
+	for d, v := range t.Targets {
+		if v < 0 || v >= 1 {
+			return fmt.Errorf("feedback trigger dimension-%d target acceptance %g outside [0, 1)", d, v)
+		}
+	}
 	if t.WindowEvents < 0 {
 		return fmt.Errorf("feedback trigger window events must be non-negative, got %d", t.WindowEvents)
 	}
 	if t.Gain < 0 || t.Deadband < 0 {
 		return fmt.Errorf("feedback trigger gain %g and deadband %g must be non-negative", t.Gain, t.Deadband)
+	}
+	if t.IntegralGain < 0 || t.IntegralClamp < 0 {
+		return fmt.Errorf("feedback trigger integral gain %g and clamp %g must be non-negative",
+			t.IntegralGain, t.IntegralClamp)
+	}
+	if t.SaturationSteps < 0 {
+		return fmt.Errorf("feedback trigger saturation steps must be non-negative, got %d", t.SaturationSteps)
 	}
 	if t.MinWindow < 0 || (t.MaxWindow > 0 && t.MaxWindow < t.MinWindow) {
 		return fmt.Errorf("feedback trigger window clamp [%g, %g] is invalid", t.MinWindow, t.MaxWindow)
@@ -504,76 +615,199 @@ func (t *FeedbackTrigger) Aligned() bool { return false }
 // Deadline is the current window boundary.
 func (t *FeedbackTrigger) Deadline(TriggerState) float64 { return t.windowEnd }
 
-// Decide mirrors WindowTrigger against the controlled boundary, with
-// one closed-loop refinement: when no MD segment is outstanding the
-// exchange fires immediately instead of idling to the boundary. The
-// window exists to gather more participants per exchange — once nothing
-// more can arrive, waiting cannot raise acceptance, only burn
-// allocation.
+// Decide mirrors WindowTrigger against the controlled boundary of the
+// upcoming dimension, with one closed-loop refinement: when no MD
+// segment is outstanding the exchange fires immediately instead of
+// idling to the boundary. The window exists to gather more
+// participants per exchange — once nothing more can arrive, waiting
+// cannot raise acceptance, only burn allocation.
 func (t *FeedbackTrigger) Decide(st TriggerState) TriggerDecision {
 	if st.Pending == 0 {
 		return TriggerFire
 	}
-	return windowDecision(st, t.windowEnd, t.MinReady)
+	t.mu.Lock()
+	minReady := t.dim(st.Dim).effectiveMinReady(t.MinReady)
+	t.mu.Unlock()
+	return windowDecision(st, t.windowEnd, minReady)
+}
+
+// effectiveMinReady resolves the second actuator: the saturation
+// override when set, the configured base otherwise.
+func (d *feedbackDim) effectiveMinReady(base int) int {
+	if d.minReadyOverride >= 0 {
+		return d.minReadyOverride
+	}
+	return base
 }
 
 // Observe folds a completed MD segment's execution time into the
 // warm-up dispersion estimate (the AdaptiveTrigger fallback).
-func (t *FeedbackTrigger) Observe(res task.Result) { t.warm.observe(res) }
+func (t *FeedbackTrigger) Observe(res task.Result) {
+	t.mu.Lock()
+	t.warm.observe(res)
+	t.mu.Unlock()
+}
+
+// dim returns dimension d's controller, growing the per-dimension
+// state as higher dimensions are first observed. Callers hold mu.
+func (t *FeedbackTrigger) dim(d int) *feedbackDim {
+	if d < 0 {
+		d = 0
+	}
+	for len(t.dims) <= d {
+		t.dims = append(t.dims, feedbackDim{minReadyOverride: -1})
+	}
+	return &t.dims[d]
+}
 
 // ObserveExchange feeds the exchange event's true-neighbour outcomes
-// into the rolling measurement window and, once the window has filled,
-// applies one proportional control step. Gap pairs (Hi > Lo+1) are
-// excluded, and events contributing no fresh neighbour outcome apply no
-// step — stale measurements must not keep pushing the window.
+// into its dimension's rolling measurement ring and, once that ring
+// has filled, applies one PI control step to that dimension's
+// actuators. Gap pairs (Hi > Lo+1) are excluded, and events
+// contributing no fresh neighbour outcome apply no step — stale
+// measurements must not keep pushing the window.
 func (t *FeedbackTrigger) ObserveExchange(ev ExchangeEvent) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	dd := t.dim(ev.Dim)
 	fresh := false
 	for _, p := range ev.Pairs {
 		if p.Hi != p.Lo+1 {
 			continue
 		}
-		t.win.Push(p.Accepted, t.windowEvents())
+		dd.win.Push(p.Accepted, t.windowEvents())
 		fresh = true
 	}
-	if !t.active && t.win.N > 0 && t.win.N == len(t.win.Outcomes) {
-		// The measurement window filled for the first time: the
-		// controller takes over from the warm-up window.
-		t.active = true
-		t.cur = t.warmWindow()
+	if !dd.active && dd.win.N > 0 && dd.win.N == len(dd.win.Outcomes) {
+		// The measurement ring filled for the first time: this
+		// dimension's controller takes over from the warm-up window.
+		dd.active = true
+		dd.cur = t.warmWindow()
 	}
-	if !t.active || !fresh {
+	if !dd.active || !fresh {
 		return
 	}
-	err := t.target() - float64(t.win.Accepted)/float64(t.win.N)
+	t.controlStep(ev.Dim, dd)
+}
+
+// controlStep applies one PI step to dimension d's actuators; callers
+// hold mu and have verified the controller is active with fresh
+// evidence.
+func (t *FeedbackTrigger) controlStep(d int, dd *feedbackDim) {
+	err := t.target(d) - float64(dd.win.Accepted)/float64(dd.win.N)
 	if math.Abs(err) <= t.deadband() {
+		// On target: stand down the diagnostic and the second actuator.
+		// The integral is kept — it encodes the steady-state correction
+		// that brought the error inside the deadband.
+		dd.satRun, dd.saturated, dd.minReadyOverride = 0, false, -1
 		return
 	}
-	factor := 1 + t.gain()*err
+	factor := 1 + t.gain()*err + t.integralGain()*dd.integ
 	// Bound a single step: one noisy window must not collapse or
 	// explode the operating point.
 	factor = math.Min(math.Max(factor, 0.5), 2)
 	lo, hi := t.clamps()
-	t.cur = math.Min(math.Max(t.cur*factor, lo), hi)
+	next := math.Min(math.Max(dd.cur*factor, lo), hi)
+	if (next == hi && err > 0) || (next == lo && err < 0) {
+		// Pinned at a clamp with the error still pushing outward: the
+		// set point is unreachable from here. Freeze the integral
+		// (anti-windup) and, after SaturationSteps consecutive pinned
+		// steps, raise the ladder-spacing diagnostic and engage the
+		// MinReady actuator.
+		dd.satRun++
+		if dd.satRun >= t.saturationSteps() {
+			dd.saturated = true
+			if err > 0 {
+				// Even the widest window cannot buy enough acceptance:
+				// disable early fires so every boundary collects the
+				// largest possible subset.
+				dd.minReadyOverride = 0
+			} else {
+				// Even the narrowest window leaves acceptance above
+				// target: fire the moment a pair can exchange.
+				dd.minReadyOverride = 2
+			}
+		}
+	} else {
+		c := t.integralClamp()
+		dd.integ = math.Min(math.Max(dd.integ+err, -c), c)
+		dd.satRun, dd.saturated, dd.minReadyOverride = 0, false, -1
+	}
+	dd.cur = next
 }
 
-// Acceptance returns the measured rolling-window acceptance ratio and
-// the number of outcomes it covers.
+// Acceptance returns the measured rolling acceptance ratio pooled over
+// every dimension's ring and the number of outcomes it covers. For
+// per-dimension measurements see ControllerStatus.
 func (t *FeedbackTrigger) Acceptance() (ratio float64, outcomes int) {
-	if t.win.N == 0 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	acc, n := 0, 0
+	for i := range t.dims {
+		acc += t.dims[i].win.Accepted
+		n += t.dims[i].win.N
+	}
+	if n == 0 {
 		return 0, 0
 	}
-	return float64(t.win.Accepted) / float64(t.win.N), t.win.N
+	return float64(acc) / float64(n), n
 }
 
-// Window returns the window length the next Reset will open with.
-func (t *FeedbackTrigger) Window() float64 {
-	if t.active {
-		return t.cur
+// Window returns the window length the next Reset would open for
+// dimension 0 (the only dimension of a 1-D ladder). For other
+// dimensions see WindowFor.
+func (t *FeedbackTrigger) Window() float64 { return t.WindowFor(0) }
+
+// WindowFor returns the window length the next Reset would open for
+// the given exchange dimension.
+func (t *FeedbackTrigger) WindowFor(d int) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.windowFor(d)
+}
+
+// windowFor is WindowFor with mu held.
+func (t *FeedbackTrigger) windowFor(d int) float64 {
+	dd := t.dim(d)
+	if dd.active {
+		return dd.cur
 	}
 	return t.warmWindow()
 }
 
-func (t *FeedbackTrigger) target() float64 {
+// ControllerStatus snapshots every observed dimension's controller
+// state for status surfaces. Safe for concurrent use with a running
+// dispatcher (the live HTTP server polls it mid-run).
+func (t *FeedbackTrigger) ControllerStatus() []FeedbackDimStatus {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]FeedbackDimStatus, len(t.dims))
+	for d := range t.dims {
+		dd := &t.dims[d]
+		st := FeedbackDimStatus{
+			Dim:       d,
+			Target:    t.target(d),
+			Outcomes:  dd.win.N,
+			Window:    t.windowFor(d),
+			MinReady:  dd.effectiveMinReady(t.MinReady),
+			Integral:  dd.integ,
+			Active:    dd.active,
+			Saturated: dd.saturated,
+		}
+		if dd.win.N > 0 {
+			st.Measured = float64(dd.win.Accepted) / float64(dd.win.N)
+		}
+		out[d] = st
+	}
+	return out
+}
+
+// target resolves dimension d's set point: the per-dimension override
+// when given, Target otherwise, DefaultTargetAcceptance when neither.
+func (t *FeedbackTrigger) target(d int) float64 {
+	if d >= 0 && d < len(t.Targets) && t.Targets[d] > 0 {
+		return t.Targets[d]
+	}
 	if t.Target > 0 {
 		return t.Target
 	}
@@ -585,6 +819,27 @@ func (t *FeedbackTrigger) gain() float64 {
 		return t.Gain
 	}
 	return 1.5
+}
+
+func (t *FeedbackTrigger) integralGain() float64 {
+	if t.IntegralGain > 0 {
+		return t.IntegralGain
+	}
+	return 0.1
+}
+
+func (t *FeedbackTrigger) integralClamp() float64 {
+	if t.IntegralClamp > 0 {
+		return t.IntegralClamp
+	}
+	return 3
+}
+
+func (t *FeedbackTrigger) saturationSteps() int {
+	if t.SaturationSteps > 0 {
+		return t.SaturationSteps
+	}
+	return 8
 }
 
 func (t *FeedbackTrigger) deadband() float64 {
@@ -619,50 +874,108 @@ func (t *FeedbackTrigger) warmWindow() float64 {
 	return t.warm.window(t.Initial, 2, lo, hi)
 }
 
-// Reset opens the next window at the controlled (or warm-up) length.
-func (t *FeedbackTrigger) Reset(st TriggerState) { t.windowEnd = st.Now + t.Window() }
+// Reset opens the next window at the upcoming dimension's controlled
+// (or warm-up) length.
+func (t *FeedbackTrigger) Reset(st TriggerState) {
+	t.mu.Lock()
+	t.windowEnd = st.Now + t.windowFor(st.Dim)
+	t.mu.Unlock()
+}
+
+// feedbackDimState is one dimension's serialized controller state.
+type feedbackDimState struct {
+	// Outcomes is the measurement ring's contents, oldest first.
+	Outcomes  []bool  `json:"outcomes,omitempty"`
+	Cur       float64 `json:"cur,omitempty"`
+	Active    bool    `json:"active,omitempty"`
+	Integ     float64 `json:"integ,omitempty"`
+	SatRun    int     `json:"sat_run,omitempty"`
+	Saturated bool    `json:"saturated,omitempty"`
+	// MinReadyOverride uses -1 for "follow the base MinReady", so it is
+	// always emitted.
+	MinReadyOverride int `json:"min_ready_override"`
+}
 
 // feedbackState is the serialized controller state of a FeedbackTrigger.
 type feedbackState struct {
-	// Outcomes is the rolling window's contents, oldest first.
-	Outcomes []bool  `json:"outcomes"`
-	Cur      float64 `json:"cur"`
-	Active   bool    `json:"active"`
-	WarmN    int     `json:"warm_n"`
-	WarmMean float64 `json:"warm_mean"`
-	WarmM2   float64 `json:"warm_m2"`
+	// Dims holds one controller per exchange dimension.
+	Dims     []feedbackDimState `json:"dims,omitempty"`
+	WarmN    int                `json:"warm_n"`
+	WarmMean float64            `json:"warm_mean"`
+	WarmM2   float64            `json:"warm_m2"`
+	// Outcomes/Cur/Active are the legacy single-controller fields of
+	// pre-per-dimension snapshots; RestoreState maps them to dimension
+	// 0 when Dims is absent.
+	Outcomes []bool  `json:"outcomes,omitempty"`
+	Cur      float64 `json:"cur,omitempty"`
+	Active   bool    `json:"active,omitempty"`
 }
 
 // EncodeState serializes the controller state (StatefulTrigger).
 func (t *FeedbackTrigger) EncodeState() ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	st := feedbackState{
-		Outcomes: t.win.Linear(),
-		Cur:      t.cur,
-		Active:   t.active,
+		Dims:     make([]feedbackDimState, len(t.dims)),
 		WarmN:    t.warm.n,
 		WarmMean: t.warm.mean,
 		WarmM2:   t.warm.m2,
+	}
+	for d := range t.dims {
+		dd := &t.dims[d]
+		st.Dims[d] = feedbackDimState{
+			Outcomes:         dd.win.Linear(),
+			Cur:              dd.cur,
+			Active:           dd.active,
+			Integ:            dd.integ,
+			SatRun:           dd.satRun,
+			Saturated:        dd.saturated,
+			MinReadyOverride: dd.minReadyOverride,
+		}
 	}
 	return json.Marshal(&st)
 }
 
 // RestoreState replaces the controller state with one produced by
 // EncodeState (StatefulTrigger). Outcomes beyond this trigger's
-// WindowEvents are dropped oldest-first.
+// WindowEvents are dropped oldest-first; a legacy single-controller
+// snapshot restores into dimension 0.
 func (t *FeedbackTrigger) RestoreState(data []byte) error {
 	var st feedbackState
 	if err := json.Unmarshal(data, &st); err != nil {
 		return fmt.Errorf("core: decoding feedback trigger state: %v", err)
 	}
-	t.win = ring.Bool{}
-	for _, v := range st.Outcomes {
-		t.win.Push(v, t.windowEvents())
+	if len(st.Dims) == 0 && (len(st.Outcomes) > 0 || st.Active || st.Cur != 0) {
+		st.Dims = []feedbackDimState{{
+			Outcomes: st.Outcomes, Cur: st.Cur, Active: st.Active,
+			MinReadyOverride: -1,
+		}}
 	}
-	t.cur = st.Cur
-	t.active = st.Active
+	// Build the restored controllers aside and swap only on success, so
+	// a caller that handles the error keeps a consistent trigger
+	// instead of a half-restored one.
+	dims := make([]feedbackDim, len(st.Dims))
+	for d, ds := range st.Dims {
+		if ds.Active && ds.Cur <= 0 {
+			return fmt.Errorf("core: feedback trigger state for dimension %d is active with window %g", d, ds.Cur)
+		}
+		if ds.MinReadyOverride < -1 {
+			return fmt.Errorf("core: feedback trigger state for dimension %d has min-ready override %d", d, ds.MinReadyOverride)
+		}
+		dd := &dims[d]
+		for _, v := range ds.Outcomes {
+			dd.win.Push(v, t.windowEvents())
+		}
+		dd.cur = ds.Cur
+		dd.active = ds.Active
+		dd.integ = ds.Integ
+		dd.satRun = ds.SatRun
+		dd.saturated = ds.Saturated
+		dd.minReadyOverride = ds.MinReadyOverride
+	}
+	t.mu.Lock()
+	t.dims = dims
 	t.warm = execStats{n: st.WarmN, mean: st.WarmMean, m2: st.WarmM2}
-	if t.active && t.cur <= 0 {
-		return fmt.Errorf("core: feedback trigger state is active with window %g", t.cur)
-	}
+	t.mu.Unlock()
 	return nil
 }

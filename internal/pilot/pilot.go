@@ -16,6 +16,15 @@
 //     proportional to the number of concurrent tasks (T_RP-over), and
 //   - a wave-scheduling penalty for units that had to wait for cores
 //     (the RP 0.35 "MPI task scheduling issue" visible in Figure 11b).
+//
+// Pilots are mortal: Description.Walltime bounds a pilot's life like a
+// real batch job, and on expiry executing and queued units fail with
+// ErrPilotExpired (wrapping task.ErrResourceLost) while the machine
+// allocation is released. NewFailoverRuntime transparently launches a
+// replacement pilot on the next submission after an expiry, and
+// MultiRuntime aggregates pilots on several machines into one
+// task.Runtime (optionally with per-pilot failover), which is how one
+// REMD simulation spans multiple HPC resources simultaneously.
 package pilot
 
 import (

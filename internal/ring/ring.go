@@ -1,9 +1,16 @@
 // Package ring provides the fixed-capacity rolling outcome window
 // shared by the acceptance-statistics consumers: the analysis
-// collector's per-pair windows and core.FeedbackTrigger's measurement
-// ring. One implementation means capacity-change and wrap-around
-// behaviour cannot drift between the dashboard's view and the
-// controller's.
+// collector's per-pair windows and core.FeedbackTrigger's
+// per-dimension measurement rings. One implementation means
+// capacity-change and wrap-around behaviour cannot drift between the
+// dashboard's view and the controller's.
+//
+// The type is deliberately plain data: Bool serializes as-is inside
+// checkpoint state, Check validates rings restored from untrusted
+// JSON before Push may assume their invariants, and Rebuild re-rings a
+// window restored under a different capacity (keeping the newest
+// outcomes when shrinking — the semantics both consumers want when a
+// run resumes with a smaller window_events).
 package ring
 
 import "fmt"
@@ -25,9 +32,13 @@ type Bool struct {
 }
 
 // Push records one outcome, evicting the oldest when the ring is full.
-// capacity sizes the ring on first use and is ignored once allocated.
+// capacity sizes the ring on first use (non-positive values size a
+// one-slot ring rather than panicking) and is ignored once allocated.
 func (r *Bool) Push(accepted bool, capacity int) {
 	if len(r.Outcomes) == 0 {
+		if capacity < 1 {
+			capacity = 1
+		}
 		r.Outcomes = make([]bool, capacity)
 	}
 	if r.N == len(r.Outcomes) {

@@ -44,3 +44,42 @@ func TestRebuild(t *testing.T) {
 		t.Fatalf("rebuild touched an empty ring: %+v", empty)
 	}
 }
+
+// TestRebuildWrappedShrink: shrinking a ring whose storage has wrapped
+// (head mid-buffer) must keep the newest outcomes in order — the
+// restore path of a snapshot taken under a larger window depth.
+func TestRebuildWrappedShrink(t *testing.T) {
+	var r Bool
+	// Capacity 4, seven pushes: storage wrapped, head is mid-buffer.
+	seq := []bool{true, false, false, true, false, true, true}
+	for _, v := range seq {
+		r.Push(v, 4)
+	}
+	if r.Head == 0 {
+		t.Fatal("test setup: ring did not wrap")
+	}
+	r.Rebuild(2)
+	if got := r.Linear(); !reflect.DeepEqual(got, []bool{true, true}) {
+		t.Fatalf("wrapped shrink kept %v, want the newest two", got)
+	}
+	if r.N != 2 || r.Accepted != 2 || len(r.Outcomes) != 2 {
+		t.Fatalf("wrapped shrink state n=%d accepted=%d cap=%d", r.N, r.Accepted, len(r.Outcomes))
+	}
+	// The shrunk ring keeps evicting correctly.
+	r.Push(false, 2)
+	if got := r.Linear(); !reflect.DeepEqual(got, []bool{true, false}) {
+		t.Fatalf("post-shrink push kept %v", got)
+	}
+	if err := r.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPushNonPositiveCapacity(t *testing.T) {
+	var r Bool
+	r.Push(true, 0) // must size a one-slot ring, not panic
+	r.Push(false, 0)
+	if r.N != 1 || r.Accepted != 0 || len(r.Outcomes) != 1 {
+		t.Fatalf("zero-capacity push state n=%d accepted=%d cap=%d", r.N, r.Accepted, len(r.Outcomes))
+	}
+}

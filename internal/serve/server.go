@@ -7,10 +7,18 @@
 //
 // Endpoints:
 //
-//	GET /status   JSON run state (trigger, cycles, faults, bus counters)
+//	GET /status   JSON run state (trigger, cycles, faults, bus counters,
+//	              per-dimension feedback-controller state when the run
+//	              executes under acceptance control)
 //	GET /stats    JSON analysis.Stats (acceptance ratios, round trips,
 //	              mixing, overhead histograms)
 //	GET /metrics  Prometheus text exposition (version 0.0.4)
+//
+// Feedback-trigger runs additionally export the repex_feedback_*
+// gauge family — per-dimension target, measured rolling acceptance,
+// controlled window, effective MinReady, integral term, and the
+// repex_feedback_saturated{dim} ladder-spacing diagnostic (1 while a
+// dimension's set point is unreachable at the window clamp).
 package serve
 
 import (
@@ -24,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/core"
 )
 
 // RunStatus is the /status payload.
@@ -46,6 +55,11 @@ type RunStatus struct {
 	// BusPublished/BusDropped are event-bus delivery counters.
 	BusPublished uint64 `json:"bus_published"`
 	BusDropped   uint64 `json:"bus_dropped"`
+	// Feedback is the per-dimension controller state of a feedback
+	// trigger run (nil for other policies): targets, measured rolling
+	// acceptance, window/MinReady actuators and the ladder-spacing
+	// saturation diagnostic.
+	Feedback []core.FeedbackDimStatus `json:"feedback,omitempty"`
 	// Error carries the failure message when State is "failed".
 	Error string `json:"error,omitempty"`
 }
@@ -232,6 +246,34 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	gauge("repex_acceptance_window_events", "Configured rolling-window depth per pair.",
 		float64(stats.WindowEvents))
+
+	if len(st.Feedback) > 0 {
+		feedbackGauge := func(name, help string, value func(core.FeedbackDimStatus) float64) {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+			for _, f := range st.Feedback {
+				fmt.Fprintf(&b, "%s{dim=\"%d\"} %s\n", name, f.Dim, fmtFloat(value(f)))
+			}
+		}
+		feedbackGauge("repex_feedback_saturated",
+			"1 while the dimension's controller is pinned at a window clamp with the target unreachable (ladder-spacing diagnostic).",
+			func(f core.FeedbackDimStatus) float64 {
+				if f.Saturated {
+					return 1
+				}
+				return 0
+			})
+		feedbackGauge("repex_feedback_target", "Per-dimension acceptance set point.",
+			func(f core.FeedbackDimStatus) float64 { return f.Target })
+		feedbackGauge("repex_feedback_acceptance_measured",
+			"Rolling acceptance the dimension's controller currently measures.",
+			func(f core.FeedbackDimStatus) float64 { return f.Measured })
+		feedbackGauge("repex_feedback_window_seconds", "Controlled exchange window per dimension.",
+			func(f core.FeedbackDimStatus) float64 { return f.Window })
+		feedbackGauge("repex_feedback_min_ready", "Effective early-fire threshold per dimension (second actuator).",
+			func(f core.FeedbackDimStatus) float64 { return float64(f.MinReady) })
+		feedbackGauge("repex_feedback_integral", "Accumulated acceptance error (I term) per dimension.",
+			func(f core.FeedbackDimStatus) float64 { return f.Integral })
+	}
 
 	counter("repex_round_trips_total", "Completed ladder round trips over all replicas.",
 		uint64(stats.RoundTrips))

@@ -209,3 +209,54 @@ func TestServerStartAndClose(t *testing.T) {
 		t.Fatalf("nil-source /status returned %d", resp.StatusCode)
 	}
 }
+
+// TestFeedbackControllerSurfaces: a status source carrying per-dim
+// feedback controller state must surface it on /status (the feedback
+// block) and /metrics (the repex_feedback_* gauges, notably the
+// saturation diagnostic).
+func TestFeedbackControllerSurfaces(t *testing.T) {
+	feedback := []core.FeedbackDimStatus{
+		{Dim: 0, Target: 0.4, Measured: 0.38, Outcomes: 32, Window: 120, MinReady: 3, Integral: 0.2, Active: true},
+		{Dim: 1, Target: 0.25, Measured: 0.02, Outcomes: 32, Window: 800, MinReady: 0, Integral: 1.4, Active: true, Saturated: true},
+	}
+	s := serve.New(seededCollector(), func() serve.RunStatus {
+		return serve.RunStatus{Name: "unit", Trigger: "feedback", State: "running", Feedback: feedback}
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	var st serve.RunStatus
+	if err := json.Unmarshal(get(t, ts.URL+"/status"), &st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Feedback) != 2 || !st.Feedback[1].Saturated || st.Feedback[0].Saturated {
+		t.Fatalf("/status feedback block %+v", st.Feedback)
+	}
+	if st.Feedback[1].Window != 800 || st.Feedback[0].Target != 0.4 {
+		t.Fatalf("/status feedback values lost: %+v", st.Feedback)
+	}
+
+	body := string(get(t, ts.URL+"/metrics"))
+	for _, want := range []string{
+		"# TYPE repex_feedback_saturated gauge",
+		`repex_feedback_saturated{dim="0"} 0`,
+		`repex_feedback_saturated{dim="1"} 1`,
+		`repex_feedback_target{dim="1"} 0.25`,
+		`repex_feedback_window_seconds{dim="1"} 800`,
+		`repex_feedback_min_ready{dim="0"} 3`,
+		`repex_feedback_acceptance_measured{dim="0"} 0.38`,
+		`repex_feedback_integral{dim="1"} 1.4`,
+	} {
+		if !strings.Contains(body, want+"\n") {
+			t.Fatalf("/metrics missing %q", want)
+		}
+	}
+
+	// Non-feedback runs must not emit the gauges at all.
+	plain := serve.New(nil, func() serve.RunStatus { return serve.RunStatus{Trigger: "barrier"} })
+	tp := httptest.NewServer(plain.Handler())
+	t.Cleanup(tp.Close)
+	if strings.Contains(string(get(t, tp.URL+"/metrics")), "repex_feedback_") {
+		t.Fatal("feedback gauges emitted without a feedback controller")
+	}
+}

@@ -100,9 +100,14 @@ type (
 	CountTrigger = core.CountTrigger
 	// AdaptiveTrigger is a window that tracks MD-time dispersion.
 	AdaptiveTrigger = core.AdaptiveTrigger
-	// FeedbackTrigger steers its window with proportional control to
-	// hold a target neighbour-pair acceptance ratio.
+	// FeedbackTrigger runs one PI controller per exchange dimension,
+	// steering a (window, MinReady) actuator pair to hold each
+	// dimension's target neighbour-pair acceptance ratio, with a
+	// saturation diagnostic when a ladder cannot reach its set point.
 	FeedbackTrigger = core.FeedbackTrigger
+	// FeedbackDimStatus is one dimension's controller state as exposed
+	// by FeedbackTrigger.ControllerStatus (and the /status endpoint).
+	FeedbackDimStatus = core.FeedbackDimStatus
 )
 
 // NewBarrierTrigger returns the synchronous-pattern policy.
