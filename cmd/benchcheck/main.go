@@ -228,6 +228,42 @@ func gateRatios(gates []RatioGate, cur map[string][]float64) (report []string, f
 	return report, failed
 }
 
+// writeDiff renders the old→new median changes a -write is about to
+// commit, sorted by benchmark name, so a baseline refresh shows at a
+// glance what moved (and what appeared or vanished) instead of being a
+// silent file overwrite. Returns nil when there was no previous
+// baseline to diff against.
+func writeDiff(old, fresh map[string]float64) []string {
+	if len(old) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(old)+len(fresh))
+	for name := range old {
+		names = append(names, name)
+	}
+	for name := range fresh {
+		if _, ok := old[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	lines := make([]string, 0, len(names))
+	for _, name := range names {
+		ov, hasOld := old[name]
+		nv, hasNew := fresh[name]
+		switch {
+		case !hasOld:
+			lines = append(lines, fmt.Sprintf("  +  %-44s %31.1f (new)", name, nv))
+		case !hasNew:
+			lines = append(lines, fmt.Sprintf("  -  %-44s %10.1f (removed)", name, ov))
+		default:
+			lines = append(lines, fmt.Sprintf("     %-44s %10.1f -> %10.1f  (%+.1f%%)",
+				name, ov, nv, 100*(nv-ov)/ov))
+		}
+	}
+	return lines
+}
+
 func run() error {
 	baselinePath := flag.String("baseline", "", "committed baseline JSON to gate against")
 	benchPath := flag.String("bench", "", "go test -json benchmark output (required; - for stdin)")
@@ -269,8 +305,8 @@ func run() error {
 		// Regenerating absolute medians (machine-specific) must not drop
 		// the ratio gates (machine-independent): carry them over from
 		// the baseline being replaced.
+		var prev Baseline
 		if old, err := os.ReadFile(*writePath); err == nil {
-			var prev Baseline
 			if json.Unmarshal(old, &prev) == nil {
 				base.Ratios = prev.Ratios
 			}
@@ -281,6 +317,9 @@ func run() error {
 		}
 		if err := os.WriteFile(*writePath, append(data, '\n'), 0o644); err != nil {
 			return err
+		}
+		for _, line := range writeDiff(prev.Benchmarks, base.Benchmarks) {
+			fmt.Println(line)
 		}
 		fmt.Printf("wrote %s: %d benchmarks, metric %s, threshold %.0f%%\n",
 			*writePath, len(base.Benchmarks), *metric, 100*th)

@@ -90,6 +90,45 @@ func TestMedianEvenCount(t *testing.T) {
 	}
 }
 
+// TestWriteDiff: refreshing a baseline prints what moved, sorted by
+// name, flagging benchmarks that appeared or vanished; a first -write
+// (no previous baseline) prints nothing.
+func TestWriteDiff(t *testing.T) {
+	old := map[string]float64{
+		"BenchmarkDispatcher/64/barrier":  10000,
+		"BenchmarkDispatcher/256/barrier": 12000,
+		"BenchmarkGone":                   5,
+	}
+	fresh := map[string]float64{
+		"BenchmarkDispatcher/64/barrier":  11000,
+		"BenchmarkDispatcher/256/barrier": 12000,
+		"BenchmarkAdded":                  7,
+	}
+	lines := writeDiff(old, fresh)
+	if len(lines) != 4 {
+		t.Fatalf("got %d diff lines, want 4: %v", len(lines), lines)
+	}
+	wantOrder := []string{"BenchmarkAdded", "BenchmarkDispatcher/256/barrier",
+		"BenchmarkDispatcher/64/barrier", "BenchmarkGone"}
+	for i, name := range wantOrder {
+		if !strings.Contains(lines[i], name) {
+			t.Fatalf("line %d = %q, want %s (sorted order)", i, lines[i], name)
+		}
+	}
+	if !strings.Contains(lines[0], "(new)") {
+		t.Errorf("added benchmark not flagged: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "+10.0%") {
+		t.Errorf("changed benchmark missing delta: %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "(removed)") {
+		t.Errorf("removed benchmark not flagged: %q", lines[3])
+	}
+	if got := writeDiff(nil, fresh); got != nil {
+		t.Errorf("first write should print no diff, got %v", got)
+	}
+}
+
 // ratioStream is a synthetic run where the bus benchmark costs 4% over
 // the bare dispatcher at 64 replicas (passes a 1.05 gate) and 30% over
 // at 256 (fails it).

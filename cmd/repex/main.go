@@ -209,15 +209,17 @@ func run(simPath, resPath, resumePath, ckptPath string, ckptEvery int, listen st
 	if listen != "" {
 		server = serve.New(col, func() serve.RunStatus {
 			st := serve.RunStatus{
-				Name:         spec.Name,
-				Engine:       simFile.Engine,
-				Trigger:      triggerName,
-				State:        state.Load().(string),
-				Replicas:     spec.Replicas(),
-				Cores:        pilotSpec.Cores,
-				CyclesTarget: spec.Cycles,
-				BusPublished: spec.Bus.Published(),
-				Error:        runFailure.Load().(string),
+				Name:            spec.Name,
+				Engine:          simFile.Engine,
+				Trigger:         triggerName,
+				State:           state.Load().(string),
+				Replicas:        spec.Replicas(),
+				Cores:           pilotSpec.Cores,
+				CyclesTarget:    spec.Cycles,
+				ExchangeWorkers: spec.ExchangeWorkers,
+				HistoryTail:     spec.HistoryTail,
+				BusPublished:    spec.Bus.Published(),
+				Error:           runFailure.Load().(string),
 			}
 			if feedback != nil {
 				// ControllerStatus is mutex-guarded inside the trigger,

@@ -1,0 +1,68 @@
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestConfigKeysDocumented is the docs-drift guard for the
+// configuration-file reference: every JSON key reachable from the
+// Simulation and Resource file shapes must appear (as a backticked
+// `key` cell) in docs/config.md. Adding a config field without
+// documenting it fails here, naming the missing key.
+func TestConfigKeysDocumented(t *testing.T) {
+	data, err := os.ReadFile("../../docs/config.md")
+	if err != nil {
+		t.Fatalf("reading config reference: %v", err)
+	}
+	doc := string(data)
+
+	var keys []string
+	seen := map[reflect.Type]bool{}
+	var walk func(typ reflect.Type, owner string)
+	walk = func(typ reflect.Type, owner string) {
+		for typ.Kind() == reflect.Pointer || typ.Kind() == reflect.Slice {
+			typ = typ.Elem()
+		}
+		if typ.Kind() != reflect.Struct || seen[typ] {
+			return
+		}
+		// Types with custom JSON marshaling (TargetAcceptance) are leaves:
+		// their Go fields are not file keys.
+		marshaler := reflect.TypeOf((*json.Marshaler)(nil)).Elem()
+		if typ.Implements(marshaler) || reflect.PointerTo(typ).Implements(marshaler) {
+			return
+		}
+		seen[typ] = true
+		for i := 0; i < typ.NumField(); i++ {
+			f := typ.Field(i)
+			tag := f.Tag.Get("json")
+			if tag == "" || tag == "-" {
+				// A file-shape field without a JSON tag would silently
+				// marshal under its Go name; require an explicit tag so
+				// the documented key is the real one.
+				t.Errorf("%s.%s has no json tag", owner, f.Name)
+				continue
+			}
+			key := strings.Split(tag, ",")[0]
+			keys = append(keys, fmt.Sprintf("%s (%s.%s)", key, owner, f.Name))
+			walk(f.Type, owner+"."+f.Name)
+		}
+	}
+	walk(reflect.TypeOf(Simulation{}), "Simulation")
+	walk(reflect.TypeOf(Resource{}), "Resource")
+
+	if len(keys) < 20 {
+		t.Fatalf("reflection walk found only %d keys; file shapes not reached", len(keys))
+	}
+	for _, entry := range keys {
+		key := strings.Split(entry, " ")[0]
+		if !strings.Contains(doc, "`"+key+"`") {
+			t.Errorf("docs/config.md does not document %s", entry)
+		}
+	}
+}

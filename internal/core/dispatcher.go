@@ -29,6 +29,10 @@ type mdFlight struct {
 	h task.Handle
 	// dim is the exchange dimension the segment was submitted under.
 	dim int
+	// start is the runtime time of the segment's first submission;
+	// relaunches keep it, so (now - start) at final completion is the
+	// segment's completion latency including every retry.
+	start float64
 	// infra counts resource-loss resubmissions (pilot walltime expiry)
 	// of this segment; unlike Replica.Retries it is per-segment and does
 	// not consume the replica's fault budget.
@@ -57,6 +61,13 @@ func (s *Simulation) dispatch(tr Trigger) error {
 	// observer hook; stateful ones additionally resume their controller
 	// state, so a resumed run makes the same trigger decisions.
 	s.exObs, _ = tr.(ExchangeObserver)
+	// Latency-adaptive policies are fed each MD segment's completion
+	// latency — submission to final completion, including relaunch
+	// retries — rather than the raw per-attempt exec time Observe sees.
+	latObs, _ := tr.(LatencyObserver)
+	// Queued bus events are flushed once per dispatcher wakeup; the
+	// deferred flush covers error returns mid-round.
+	defer s.flushBus()
 	if s.resumed && len(spec.Resume.TriggerData) > 0 {
 		st, ok := tr.(StatefulTrigger)
 		if !ok {
@@ -150,6 +161,7 @@ func (s *Simulation) dispatch(tr Trigger) error {
 		mdStart = s.rt.Now()
 		for _, r := range rs {
 			f := newFlight(r)
+			f.start = mdStart
 			f.h = s.rt.SubmitWatched(s.engine.MDTask(r, spec, dim))
 			owner[f.h] = f
 			pending++
@@ -181,10 +193,8 @@ func (s *Simulation) dispatch(tr Trigger) error {
 			return false
 		}
 		s.report.Relaunches++
-		if spec.Bus != nil {
-			spec.Bus.Publish(FaultEvent{At: s.rt.Now(), Replica: f.r.ID,
-				Kind: kind, Retries: retries, Exec: res.Exec})
-		}
+		s.publish(FaultEvent{At: s.rt.Now(), Replica: f.r.ID,
+			Kind: kind, Retries: retries, Exec: res.Exec})
 		// The failed attempt is charged to the round it happened in.
 		mdAccum.absorb(res)
 		s.report.MDExecCoreSeconds += res.Exec * float64(res.Spec.Cores)
@@ -224,6 +234,12 @@ func (s *Simulation) dispatch(tr Trigger) error {
 				if res.Failed() && relaunch(f, res) {
 					continue
 				}
+				if latObs != nil && !res.Failed() {
+					// Final completion of this segment: its latency spans
+					// back to the first submission, so fault-driven
+					// relaunch delay widens adaptive windows correctly.
+					latObs.ObserveLatency(s.rt.Now() - f.start)
+				}
 				if aligned {
 					// Deferred: the barrier processes the whole batch in
 					// submission order at fire time, matching the
@@ -240,6 +256,7 @@ func (s *Simulation) dispatch(tr Trigger) error {
 				}
 				freeFlight(f)
 			}
+			s.flushBus()
 
 		case TriggerFireAtDeadline:
 			s.rt.SleepUntil(tr.Deadline(st))
@@ -350,89 +367,107 @@ func (s *Simulation) dispatch(tr Trigger) error {
 // to alive participants; groups with fewer than two members cannot
 // exchange and simply keep simulating. sweep seeds the alternating
 // neighbour pairing.
+//
+// The Metropolis sweep is sharded: the per-pair uniforms are pre-drawn
+// serially in pair order (preserving the serial RNG stream exactly), the
+// read-only acceptance-probability math fans out across the bounded
+// worker pool (evalPairProbs), and decisions plus swaps are applied
+// serially in pair order afterwards. Pairs are disjoint — a replica
+// belongs to exactly one group along d and to at most one pair per sweep
+// — so no pair's probability depends on another pair's swap, and the
+// result is bit-identical to the fully serial phase for any
+// Spec.ExchangeWorkers setting.
 func (s *Simulation) exchangePhase(participants []*Replica, d, sweep int, rec *CycleRecord) {
-	inSet := make(map[int]bool, len(participants))
+	in := s.inScratch
 	for _, r := range participants {
 		if r.Alive {
-			inSet[r.ID] = true
+			in[r.ID] = true
 		}
 	}
-	var groups [][]*Replica
-	for _, g := range s.liveGroups(d) {
-		var sub []*Replica
-		for _, r := range g {
-			if inSet[r.ID] {
-				sub = append(sub, r)
-			}
-		}
-		if len(sub) >= 2 {
-			groups = append(groups, sub)
-		}
+	members, off := s.collectGroups(d, in, 2)
+	for _, r := range participants {
+		in[r.ID] = false
 	}
-	if len(groups) == 0 {
+	nGroups := len(off) - 1
+	if nGroups == 0 {
 		return
 	}
 
 	// Client-side preparation of exchange tasks.
-	prep := s.engine.PrepOverhead(len(groups), len(s.spec.Dims))
+	prep := s.engine.PrepOverhead(nGroups, len(s.spec.Dims))
 	s.rt.Overhead(prep)
 	rec.RepExOverhead += prep
 
 	// Single-point energy tasks (salt exchange): one per replica, wide
 	// as its group, doubling the task count — the paper's stated cause
 	// of S-REMD's exchange cost.
-	var speHandles []task.Handle
-	for _, g := range groups {
-		for _, spec := range s.engine.SinglePointTasks(d, g, s.spec) {
-			speHandles = append(speHandles, s.rt.Submit(spec))
+	spe := s.speScratch[:0]
+	for gi := 0; gi < nGroups; gi++ {
+		for _, spec := range s.engine.SinglePointTasks(d, members[off[gi]:off[gi+1]], s.spec) {
+			spe = append(spe, s.rt.Submit(spec))
 		}
 	}
-	if len(speHandles) > 0 {
-		for _, res := range s.rt.AwaitAll(speHandles) {
+	s.speScratch = spe
+	if len(spe) > 0 {
+		for _, res := range s.rt.AwaitAll(spe) {
 			rec.EX.absorb(res)
 		}
 	}
 
 	// The exchange-computation task itself (partner determination).
-	total := 0
-	for _, g := range groups {
-		total += len(g)
-	}
-	if exSpec := s.engine.ExchangeTask(d, total, s.spec); exSpec != nil {
+	if exSpec := s.engine.ExchangeTask(d, len(members), s.spec); exSpec != nil {
 		rec.EX.absorb(s.rt.Await(s.rt.Submit(exSpec)))
 	}
 
-	// Metropolis decisions and swaps (client side, negligible cost).
-	for _, g := range groups {
-		ids := make([]int, len(g))
-		for i, r := range g {
-			ids[i] = r.ID
-		}
-		pairs := exchange.NeighborPairs(ids, sweep)
-		probs := make([]float64, len(pairs))
-		for i, pr := range pairs {
-			probs[i] = s.pairProbability(d, s.replicas[pr.I], s.replicas[pr.J])
-		}
-		s.rngDraws += int64(len(pairs)) // Sweep draws one uniform per pair
-		for _, dec := range exchange.Sweep(pairs, probs, s.rng) {
-			rec.Attempted++
-			if s.wantsPairOutcomes() {
-				// Captured before applySwap: Lo/Hi are the partners'
-				// window indices along d at decision time.
-				ci := s.coordAlong(s.replicas[dec.I].Slot, d)
-				cj := s.coordAlong(s.replicas[dec.J].Slot, d)
-				out := PairOutcome{Lo: ci, Hi: cj, ReplicaI: dec.I, ReplicaJ: dec.J,
-					Accepted: dec.Accepted}
-				if out.Lo > out.Hi {
-					out.Lo, out.Hi = out.Hi, out.Lo
-					out.ReplicaI, out.ReplicaJ = out.ReplicaJ, out.ReplicaI
-				}
-				s.pairScratch = append(s.pairScratch, out)
+	// Neighbour pair lists, flat across groups in group order — the same
+	// pair order the per-group serial sweep produced.
+	ids := s.exIDs[:0]
+	for _, r := range members {
+		ids = append(ids, r.ID)
+	}
+	s.exIDs = ids
+	pairs := s.exPairs[:0]
+	for gi := 0; gi < nGroups; gi++ {
+		pairs = exchange.AppendNeighborPairs(pairs, ids[off[gi]:off[gi+1]], sweep)
+	}
+	s.exPairs = pairs
+
+	// Pre-draw one uniform per pair serially, in pair order: the RNG
+	// stream is independent of the worker count, which is what keeps the
+	// sharded evaluation below bit-identical to the serial path.
+	probs := floatScratch(s.exProbs, len(pairs))
+	unis := floatScratch(s.exUnis, len(pairs))
+	s.exProbs, s.exUnis = probs, unis
+	s.rngDraws += int64(len(pairs))
+	for i := range unis {
+		unis[i] = s.rng.Float64()
+	}
+
+	// Metropolis probabilities: the read-only energy math, sharded.
+	s.evalPairProbs(d, pairs, probs)
+
+	// Decisions and swaps, serially in pair order (client side,
+	// negligible cost).
+	wantOut := s.wantsPairOutcomes()
+	for i, pr := range pairs {
+		rec.Attempted++
+		accepted := unis[i] < probs[i]
+		if wantOut {
+			// Captured before applySwap: Lo/Hi are the partners'
+			// window indices along d at decision time.
+			ci := s.coordAlong(s.replicas[pr.I].Slot, d)
+			cj := s.coordAlong(s.replicas[pr.J].Slot, d)
+			out := PairOutcome{Lo: ci, Hi: cj, ReplicaI: pr.I, ReplicaJ: pr.J,
+				Accepted: accepted}
+			if out.Lo > out.Hi {
+				out.Lo, out.Hi = out.Hi, out.Lo
+				out.ReplicaI, out.ReplicaJ = out.ReplicaJ, out.ReplicaI
 			}
-			if dec.Accepted {
-				rec.Accepted++
-				s.applySwap(s.replicas[dec.I], s.replicas[dec.J])
-			}
+			s.pairScratch = append(s.pairScratch, out)
+		}
+		if accepted {
+			rec.Accepted++
+			s.applySwap(s.replicas[pr.I], s.replicas[pr.J])
 		}
 	}
 }

@@ -273,11 +273,11 @@ func TestAdaptiveTriggerCompletes(t *testing.T) {
 }
 
 func TestAdaptiveWindowTracksDispersion(t *testing.T) {
-	// Unit-level: feed the trigger segments with low and high dispersion
-	// and check the adapted window expands with the spread.
-	observe := func(tr *core.AdaptiveTrigger, execs []float64) float64 {
-		for _, e := range execs {
-			tr.Observe(task.Result{Spec: &task.Spec{Kind: task.MD}, Exec: e})
+	// Unit-level: feed the trigger segment latencies with low and high
+	// dispersion and check the adapted window expands with the spread.
+	observe := func(tr *core.AdaptiveTrigger, lats []float64) float64 {
+		for _, e := range lats {
+			tr.ObserveLatency(e)
 		}
 		tr.Reset(core.TriggerState{Now: 1000})
 		return tr.Deadline(core.TriggerState{}) - 1000

@@ -147,6 +147,23 @@ func (b *Bus) Publish(ev Event) {
 	}
 }
 
+// PublishBatch delivers evs in order to every subscriber, taking each
+// subscriber's ring lock once per batch instead of once per event. The
+// dispatcher batches the MD, fault and exchange records of a collection
+// round this way so per-pair outcome fan-out does not serialize the hot
+// path at production replica counts.
+func (b *Bus) PublishBatch(evs []Event) {
+	if len(evs) == 0 {
+		return
+	}
+	b.published.Add(uint64(len(evs)))
+	if subs := b.subs.Load(); subs != nil {
+		for _, s := range *subs {
+			s.pushBatch(evs)
+		}
+	}
+}
+
 // Published returns the number of events published so far.
 func (b *Bus) Published() uint64 {
 	if b == nil {
@@ -166,6 +183,19 @@ type Subscription struct {
 
 func (s *Subscription) push(ev Event) {
 	s.mu.Lock()
+	s.pushLocked(ev)
+	s.mu.Unlock()
+}
+
+func (s *Subscription) pushBatch(evs []Event) {
+	s.mu.Lock()
+	for _, ev := range evs {
+		s.pushLocked(ev)
+	}
+	s.mu.Unlock()
+}
+
+func (s *Subscription) pushLocked(ev Event) {
 	if s.n == len(s.ring) {
 		s.ring[s.head] = ev
 		s.head = (s.head + 1) % len(s.ring)
@@ -174,7 +204,6 @@ func (s *Subscription) push(ev Event) {
 		s.ring[(s.head+s.n)%len(s.ring)] = ev
 		s.n++
 	}
-	s.mu.Unlock()
 }
 
 // Drain appends all buffered events to dst in publication order and

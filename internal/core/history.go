@@ -1,0 +1,62 @@
+package core
+
+// Rolling slot-history fingerprint. The orchestrator fingerprints every
+// slot-history row as it is recorded, so equivalence over the full
+// exchange trajectory can be asserted — across worker counts, across
+// checkpoint/resume, against pinned goldens — even when Spec.HistoryTail
+// has rotated early rows out of memory.
+//
+// The encoding is the canonical text form used by the golden tests since
+// the seed: each slot as decimal digits followed by ',', each row closed
+// by ';', hashed with FNV-1a. An empty history fingerprints to the FNV
+// offset basis.
+
+const (
+	fnv64Offset uint64 = 14695981039346656037
+	fnv64Prime  uint64 = 1099511628211
+)
+
+func fnvByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnv64Prime }
+
+// fnvInt folds the decimal encoding of v plus a ',' separator into h,
+// byte-identical to hashing fmt.Sprintf("%d,", v).
+func fnvInt(h uint64, v int) uint64 {
+	if v < 0 {
+		h = fnvByte(h, '-')
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	for ; i < len(buf); i++ {
+		h = fnvByte(h, buf[i])
+	}
+	return fnvByte(h, ',')
+}
+
+// fnvRow folds one slot-history row (plus its ';' terminator) into h.
+func fnvRow(h uint64, row []int) uint64 {
+	for _, s := range row {
+		h = fnvInt(h, s)
+	}
+	return fnvByte(h, ';')
+}
+
+// HistoryFingerprint returns the FNV-1a fingerprint of a slot history.
+// For a run with an unbounded history it equals Report.SlotFingerprint;
+// with Spec.HistoryTail set, Report.SlotFingerprint additionally covers
+// the rotated-out rows.
+func HistoryFingerprint(history [][]int) uint64 {
+	h := fnv64Offset
+	for _, row := range history {
+		h = fnvRow(h, row)
+	}
+	return h
+}

@@ -134,8 +134,17 @@ type Report struct {
 	// SlotHistory records each replica's slot after every exchange event
 	// (row = event, column = replica ID; one event per sub-cycle under
 	// the barrier trigger). It feeds the mixing diagnostics in
-	// internal/stats.
+	// internal/stats. When Spec.HistoryTail is positive only the most
+	// recent rows are retained; SlotRows and SlotFingerprint still cover
+	// the full run.
 	SlotHistory [][]int
+	// SlotRows counts every slot-history row ever recorded, including
+	// rows rotated out of SlotHistory by Spec.HistoryTail.
+	SlotRows int
+	// SlotFingerprint is the rolling FNV-1a fingerprint over every
+	// recorded row, retained or rotated out (see HistoryFingerprint); the
+	// fingerprint of an empty history is the FNV offset basis.
+	SlotFingerprint uint64
 
 	// ExchangeEvents counts exchange phases executed.
 	ExchangeEvents int

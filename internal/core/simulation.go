@@ -3,6 +3,8 @@ package core
 import (
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"repro/internal/exchange"
 	"repro/internal/md"
@@ -39,6 +41,30 @@ type Simulation struct {
 	// rngDraws counts uniforms consumed from rng, so a Snapshot can
 	// restore the exact RNG state by replaying the draw count.
 	rngDraws int64
+
+	// exWorkers is the resolved exchange worker-pool bound; exForce marks
+	// an explicit Spec.ExchangeWorkers >= 2, which shards regardless of
+	// event size (the default pool stays serial below a work threshold).
+	exWorkers int
+	exForce   bool
+	// Exchange-phase scratch, reused across events so the hot loop
+	// allocates nothing per exchange: participant membership by replica
+	// ID, the flat group members with their boundary offsets and IDs, the
+	// grouped view handed to liveGroups callers, the flat pair list and
+	// its probability/uniform arrays, and the single-point-energy
+	// handles.
+	inScratch    []bool
+	exMembers    []*Replica
+	exOff        []int
+	exIDs        []int
+	groupScratch [][]*Replica
+	exPairs      []exchange.Pair
+	exProbs      []float64
+	exUnis       []float64
+	speScratch   []task.Handle
+	// busBatch accumulates a collection round's bus events for one
+	// batched Bus.PublishBatch call per dispatcher wakeup.
+	busBatch []Event
 
 	// resumeEvents is the exchange-event counter restored from
 	// Spec.Resume (0 for a fresh run); resumeElapsed is the virtual run
@@ -96,19 +122,28 @@ func New(spec *Spec, engine Engine, rt task.Runtime) (*Simulation, error) {
 		s.replicas[i] = r
 		s.replicaAt[i] = i
 	}
+	s.exWorkers = spec.ExchangeWorkers
+	switch {
+	case s.exWorkers <= 0:
+		s.exWorkers = runtime.GOMAXPROCS(0)
+	case s.exWorkers >= 2:
+		s.exForce = true
+	}
+	s.inScratch = make([]bool, n)
 	mode := ModeI
 	if rt.Cores() < n*spec.CoresPerReplica {
 		mode = ModeII
 	}
 	s.report = &Report{
-		Name:     spec.Name,
-		DimCode:  spec.DimCode(),
-		Pattern:  spec.Pattern,
-		Mode:     mode,
-		Engine:   engine.Name(),
-		Replicas: n,
-		Cores:    rt.Cores(),
-		Cycles:   spec.Cycles,
+		Name:            spec.Name,
+		DimCode:         spec.DimCode(),
+		Pattern:         spec.Pattern,
+		Mode:            mode,
+		Engine:          engine.Name(),
+		Replicas:        n,
+		Cores:           rt.Cores(),
+		Cycles:          spec.Cycles,
+		SlotFingerprint: fnv64Offset,
 	}
 	if spec.Resume != nil {
 		if err := s.applySnapshot(spec.Resume); err != nil {
@@ -185,20 +220,39 @@ func (s *Simulation) finishMD(r *Replica, res task.Result, phase *PhaseRecord) {
 	if res.Failed() {
 		r.Alive = false
 		s.report.Dropped++
-		if s.spec.Bus != nil {
-			s.spec.Bus.Publish(MDEvent{At: s.rt.Now(), Replica: r.ID, Cycle: r.Cycle,
-				Exec: res.Exec, Failed: true})
-			s.spec.Bus.Publish(FaultEvent{At: s.rt.Now(), Replica: r.ID,
-				Kind: FaultKindDrop, Retries: r.Retries})
-		}
+		s.publish(MDEvent{At: s.rt.Now(), Replica: r.ID, Cycle: r.Cycle,
+			Exec: res.Exec, Failed: true})
+		s.publish(FaultEvent{At: s.rt.Now(), Replica: r.ID,
+			Kind: FaultKindDrop, Retries: r.Retries})
 		return
 	}
 	r.Cycle++
 	r.Energy = s.engine.OwnEnergy(r)
+	s.publish(MDEvent{At: s.rt.Now(), Replica: r.ID, Cycle: r.Cycle,
+		Exec: res.Exec})
+}
+
+// publish queues one event for the next batched bus flush; a no-op
+// without a bus. Queued events reach subscribers in publication order
+// when the dispatcher calls flushBus (once per wakeup / exchange event),
+// which takes each subscriber's ring lock once per batch instead of once
+// per event.
+func (s *Simulation) publish(ev Event) {
 	if s.spec.Bus != nil {
-		s.spec.Bus.Publish(MDEvent{At: s.rt.Now(), Replica: r.ID, Cycle: r.Cycle,
-			Exec: res.Exec})
+		s.busBatch = append(s.busBatch, ev)
 	}
+}
+
+// flushBus delivers the queued event batch to the bus.
+func (s *Simulation) flushBus() {
+	if len(s.busBatch) == 0 {
+		return
+	}
+	s.spec.Bus.PublishBatch(s.busBatch)
+	for i := range s.busBatch {
+		s.busBatch[i] = nil
+	}
+	s.busBatch = s.busBatch[:0]
 }
 
 // coordAlong returns slot's window index along dimension d.
@@ -233,9 +287,8 @@ func (s *Simulation) publishExchange(event, cycle, dim int, rec *CycleRecord) {
 	if s.exObs != nil {
 		s.exObs.ObserveExchange(ev)
 	}
-	if s.spec.Bus != nil {
-		s.spec.Bus.Publish(ev)
-	}
+	s.publish(ev)
+	s.flushBus()
 }
 
 // pairProbability computes the Metropolis acceptance probability for
@@ -280,14 +333,34 @@ func (s *Simulation) applySwap(a, b *Replica) {
 	}
 }
 
-// snapshotSlots appends the replicas' current slot assignment to the
-// report's slot history.
+// snapshotSlots records the replicas' current slot assignment: the row
+// is folded into the rolling fingerprint and appended to the report's
+// slot history, which Spec.HistoryTail bounds to the most recent rows.
+// A rotated-out row's backing array is recycled only when no bus is
+// attached — ExchangeEvent.Slots shares the history rows, and a slow
+// subscriber's ring may still reference rotated-out rows.
 func (s *Simulation) snapshotSlots() {
-	row := make([]int, len(s.replicas))
-	for i, r := range s.replicas {
-		row[i] = r.Slot
+	hist := s.report.SlotHistory
+	tail := s.spec.HistoryTail
+	rotate := tail > 0 && len(hist) >= tail
+	var row []int
+	if rotate && s.spec.Bus == nil {
+		row = hist[0][:0]
+	} else {
+		row = make([]int, 0, len(s.replicas))
 	}
-	s.report.SlotHistory = append(s.report.SlotHistory, row)
+	for _, r := range s.replicas {
+		row = append(row, r.Slot)
+	}
+	s.report.SlotFingerprint = fnvRow(s.report.SlotFingerprint, row)
+	s.report.SlotRows++
+	if rotate {
+		copy(hist, hist[1:])
+		hist[len(hist)-1] = row
+	} else {
+		hist = append(hist, row)
+	}
+	s.report.SlotHistory = hist
 }
 
 // aliveReplicas returns the live replicas in ID order.
@@ -324,24 +397,101 @@ func (s *Simulation) aliveCount() int {
 	return n
 }
 
+// collectGroups fills the exchange-group scratch for dimension d with
+// the alive replicas for which keep (indexed by replica ID) is true —
+// nil keeps every alive replica — dropping groups smaller than minSize.
+// It returns the flat member slice and the group boundary offsets:
+// group i is members[off[i]:off[i+1]]. Both returned slices alias
+// per-simulation scratch and are valid until the next call.
+func (s *Simulation) collectGroups(d int, keep []bool, minSize int) ([]*Replica, []int) {
+	members := s.exMembers[:0]
+	off := s.exOff[:0]
+	for _, slots := range s.slotGroups[d] {
+		start := len(members)
+		for _, slot := range slots {
+			r := s.replicas[s.replicaAt[slot]]
+			if r.Alive && (keep == nil || keep[r.ID]) {
+				members = append(members, r)
+			}
+		}
+		if len(members)-start >= minSize {
+			off = append(off, start)
+		} else {
+			members = members[:start]
+		}
+	}
+	off = append(off, len(members))
+	s.exMembers, s.exOff = members, off
+	return members, off
+}
+
 // liveGroups returns, for dimension d, the exchange groups as slices of
 // live replicas ordered by their coordinate along d. Dead replicas are
 // skipped, which is what lets the simulation continue across failures.
-// The slot grouping comes from the per-dimension cache built in New.
+// The slot grouping comes from the per-dimension cache built in New; the
+// returned groups alias per-simulation scratch reused across exchange
+// events and are valid until the next call.
 func (s *Simulation) liveGroups(d int) [][]*Replica {
-	slotGroups := s.slotGroups[d]
-	out := make([][]*Replica, 0, len(slotGroups))
-	for _, slots := range slotGroups {
-		var g []*Replica
-		for _, slot := range slots {
-			r := s.replicas[s.replicaAt[slot]]
-			if r.Alive {
-				g = append(g, r)
-			}
-		}
-		if len(g) >= 1 {
-			out = append(out, g)
-		}
+	members, off := s.collectGroups(d, nil, 1)
+	out := s.groupScratch[:0]
+	for i := 0; i+1 < len(off); i++ {
+		out = append(out, members[off[i]:off[i+1]:off[i+1]])
 	}
+	s.groupScratch = out
 	return out
+}
+
+// minPairsPerWorker gates the default exchange worker pool: below this
+// many pairs per worker the goroutine fan-out costs more than the
+// acceptance math it parallelizes, so small events stay serial. An
+// explicit Spec.ExchangeWorkers >= 2 bypasses the gate.
+const minPairsPerWorker = 256
+
+// evalPairProbs fills probs[i] with the Metropolis acceptance
+// probability of pairs[i] along dimension d, fanning the energy math
+// across the bounded worker pool when the event is large enough (or
+// sharding is forced). Probability evaluation is read-only over disjoint
+// replica pairs — pairProbability touches only the pair's two replicas,
+// and Engine.CrossEnergy implementations are pure — so the result is
+// bit-identical to the serial loop for any worker count.
+func (s *Simulation) evalPairProbs(d int, pairs []exchange.Pair, probs []float64) {
+	workers := s.exWorkers
+	if !s.exForce && workers > len(pairs)/minPairsPerWorker {
+		workers = len(pairs) / minPairsPerWorker
+	}
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	if workers <= 1 {
+		for i, pr := range pairs {
+			probs[i] = s.pairProbability(d, s.replicas[pr.I], s.replicas[pr.J])
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (len(pairs) + workers - 1) / workers
+	for lo := 0; lo < len(pairs); lo += chunk {
+		hi := lo + chunk
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				pr := pairs[i]
+				probs[i] = s.pairProbability(d, s.replicas[pr.I], s.replicas[pr.J])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// floatScratch returns a length-n slice, reusing s's backing when it is
+// large enough.
+func floatScratch(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
 }

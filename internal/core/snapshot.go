@@ -45,8 +45,16 @@ type Snapshot struct {
 	// Replicas holds the per-replica state in ID order.
 	Replicas []ReplicaState `json:"replicas"`
 	// SlotHistory is the slot assignment after each exchange event so
-	// far, so a resumed run's report carries the full history.
+	// far — bounded to the most recent rows when Spec.HistoryTail is set
+	// — so a resumed run's report carries the retained history.
 	SlotHistory [][]int `json:"slot_history"`
+	// SlotRows and SlotFingerprint carry the full-history row count and
+	// rolling fingerprint (see Report), so resume equivalence holds even
+	// when HistoryTail rotated early rows out of SlotHistory. A zero
+	// fingerprint marks a pre-fingerprint snapshot; both are then
+	// recomputed from SlotHistory on resume.
+	SlotRows        int    `json:"slot_rows,omitempty"`
+	SlotFingerprint uint64 `json:"slot_fingerprint,omitempty"`
 	// Report counters accumulated before the snapshot.
 	Dropped           int     `json:"dropped"`
 	Relaunches        int     `json:"relaunches"`
@@ -117,6 +125,8 @@ func (s *Simulation) captureSnapshot(tr Trigger, events int) (*Snapshot, error) 
 		EngineDraws:       -1,
 		Replicas:          make([]ReplicaState, len(s.replicas)),
 		SlotHistory:       make([][]int, len(s.report.SlotHistory)),
+		SlotRows:          s.report.SlotRows,
+		SlotFingerprint:   s.report.SlotFingerprint,
 		Dropped:           s.report.Dropped,
 		Relaunches:        s.report.Relaunches,
 		MDExecCoreSeconds: s.report.MDExecCoreSeconds,
@@ -218,6 +228,20 @@ func (s *Simulation) applySnapshot(sn *Snapshot) error {
 	s.report.SlotHistory = make([][]int, len(sn.SlotHistory))
 	for i, row := range sn.SlotHistory {
 		s.report.SlotHistory[i] = append([]int(nil), row...)
+	}
+	if sn.SlotFingerprint != 0 {
+		s.report.SlotRows = sn.SlotRows
+		s.report.SlotFingerprint = sn.SlotFingerprint
+	} else {
+		// Pre-fingerprint snapshot: its history is complete (HistoryTail
+		// did not exist), so both values derive from the stored rows.
+		s.report.SlotRows = len(sn.SlotHistory)
+		s.report.SlotFingerprint = HistoryFingerprint(sn.SlotHistory)
+	}
+	// A resumed history longer than the tail (snapshot taken without one,
+	// or with a larger one) is trimmed so the bound holds from the start.
+	if tail := s.spec.HistoryTail; tail > 0 && len(s.report.SlotHistory) > tail {
+		s.report.SlotHistory = s.report.SlotHistory[len(s.report.SlotHistory)-tail:]
 	}
 	return nil
 }

@@ -92,6 +92,19 @@ type ExchangeObserver interface {
 	ObserveExchange(ev ExchangeEvent)
 }
 
+// LatencyObserver is an optional Trigger extension: a policy that also
+// implements it is fed each MD segment's completion latency — first
+// submission to final successful completion, including every relaunch
+// retry and any queueing delay. This is the dispersion signal
+// window-adapting policies (AdaptiveTrigger, FeedbackTrigger's warm-up)
+// track: the raw per-attempt exec times Observe sees miss fault-driven
+// delay entirely, so a flaky replica would never widen the window.
+type LatencyObserver interface {
+	// ObserveLatency is invoked once per finally-completed MD segment
+	// with its completion latency in runtime seconds.
+	ObserveLatency(latency float64)
+}
+
 // StatefulTrigger is an optional Trigger extension for policies whose
 // accumulated controller state must survive checkpoint/restart (e.g.
 // FeedbackTrigger's rolling outcome window and controlled window
@@ -270,23 +283,21 @@ func (t *CountTrigger) Reset(TriggerState) {}
 // AdaptiveTrigger: a window that tracks observed MD-time dispersion.
 
 // execStats is a Welford accumulator over completed MD segments'
-// execution times: the dispersion estimate behind the adaptive window
-// (AdaptiveTrigger, and FeedbackTrigger's warm-up fallback).
+// completion latencies (submission to final completion, including
+// relaunch retries): the dispersion estimate behind the adaptive window
+// (AdaptiveTrigger, and FeedbackTrigger's warm-up fallback). The
+// dispatcher feeds it through the LatencyObserver hook.
 type execStats struct {
 	n        int
 	mean, m2 float64
 }
 
-// observe folds one completed MD segment's execution time in; failed
-// and non-MD results are ignored.
-func (e *execStats) observe(res task.Result) {
-	if res.Failed() || res.Spec == nil || res.Spec.Kind != task.MD {
-		return
-	}
+// add folds one completion latency in.
+func (e *execStats) add(x float64) {
 	e.n++
-	d := res.Exec - e.mean
+	d := x - e.mean
 	e.mean += d / float64(e.n)
-	e.m2 += d * (res.Exec - e.mean)
+	e.m2 += d * (x - e.mean)
 }
 
 // window returns mean + gain·stddev clamped to [lo, hi], or initial
@@ -300,7 +311,8 @@ func (e *execStats) window(initial, gain, lo, hi float64) float64 {
 }
 
 // AdaptiveTrigger is a window trigger whose period adapts to the
-// observed MD execution times: the window is mean + Gain·stddev of the
+// observed MD completion latencies (including relaunch retries): the
+// window is mean + Gain·stddev of the
 // segments seen so far, clamped to [MinWindow, MaxWindow]. Under uniform
 // replica performance the window shrinks towards the mean segment time
 // (fast exchanges, little idling); under heterogeneous or jittery
@@ -354,9 +366,15 @@ func (t *AdaptiveTrigger) Decide(st TriggerState) TriggerDecision {
 	return windowDecision(st, t.windowEnd, t.MinReady)
 }
 
-// Observe folds a completed MD segment's execution time into the
-// dispersion estimate.
-func (t *AdaptiveTrigger) Observe(res task.Result) { t.stats.observe(res) }
+// Observe is a no-op: the dispersion estimate is fed completion
+// latencies through ObserveLatency instead, so fault-driven relaunch
+// delay widens the window (raw per-attempt exec times would miss it).
+func (t *AdaptiveTrigger) Observe(task.Result) {}
+
+// ObserveLatency folds a completed MD segment's completion latency —
+// including relaunch retries — into the dispersion estimate
+// (LatencyObserver).
+func (t *AdaptiveTrigger) ObserveLatency(latency float64) { t.stats.add(latency) }
 
 // window returns the current adapted window length.
 func (t *AdaptiveTrigger) window() float64 {
@@ -640,11 +658,16 @@ func (d *feedbackDim) effectiveMinReady(base int) int {
 	return base
 }
 
-// Observe folds a completed MD segment's execution time into the
-// warm-up dispersion estimate (the AdaptiveTrigger fallback).
-func (t *FeedbackTrigger) Observe(res task.Result) {
+// Observe is a no-op: the warm-up dispersion estimate is fed completion
+// latencies through ObserveLatency instead (see LatencyObserver).
+func (t *FeedbackTrigger) Observe(task.Result) {}
+
+// ObserveLatency folds a completed MD segment's completion latency —
+// including relaunch retries — into the warm-up dispersion estimate (the
+// AdaptiveTrigger fallback).
+func (t *FeedbackTrigger) ObserveLatency(latency float64) {
 	t.mu.Lock()
-	t.warm.observe(res)
+	t.warm.add(latency)
 	t.mu.Unlock()
 }
 

@@ -8,7 +8,6 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/exchange"
-	"repro/internal/task"
 )
 
 // neighbourEvent builds an exchange event with n true-neighbour pair
@@ -168,8 +167,8 @@ func TestFeedbackStateRoundTrip(t *testing.T) {
 func TestAdaptiveStateRoundTrip(t *testing.T) {
 	mk := func() *core.AdaptiveTrigger { return core.NewAdaptiveTrigger(100) }
 	a := mk()
-	for _, exec := range []float64{90, 110, 130, 95, 140} {
-		a.Observe(task.Result{Spec: &task.Spec{Kind: task.MD}, Exec: exec})
+	for _, lat := range []float64{90, 110, 130, 95, 140} {
+		a.ObserveLatency(lat)
 	}
 	data, err := a.EncodeState()
 	if err != nil {

@@ -206,6 +206,23 @@ type Spec struct {
 	// non-blocking — a slow or stalled subscriber never affects the
 	// dispatcher — so attaching a bus cannot change simulation results.
 	Bus *Bus
+	// ExchangeWorkers bounds the worker pool that shards each exchange
+	// event's pair evaluation (the Metropolis acceptance-probability
+	// math). 0, the default, uses GOMAXPROCS with a work-size gate so
+	// small events stay on the serial path; 1 forces serial evaluation;
+	// an explicit value >= 2 always shards (tests use this to exercise
+	// the parallel path on small ladders). Results are bit-identical for
+	// every setting: the per-pair uniforms are pre-drawn serially in pair
+	// order, so the RNG stream — and with it every accept/reject
+	// decision, slot-history fingerprint and resumed run — does not
+	// depend on the worker count.
+	ExchangeWorkers int
+	// HistoryTail, when positive, bounds Report.SlotHistory to the most
+	// recent HistoryTail rows; older rows are folded into the rolling
+	// Report.SlotFingerprint as they rotate out, keeping exchange-event
+	// memory O(tail×replicas) instead of O(events×replicas). 0, the
+	// default, retains the complete history.
+	HistoryTail int
 }
 
 // triggerPolicy resolves the exchange-trigger policy: Spec.Trigger when
@@ -302,6 +319,12 @@ func (s *Spec) Validate() error {
 	}
 	if s.Pattern == PatternAsynchronous && s.Trigger == nil && s.AsyncWindow <= 0 {
 		return fmt.Errorf("spec %q: asynchronous pattern requires a positive AsyncWindow", s.Name)
+	}
+	if s.ExchangeWorkers < 0 {
+		return fmt.Errorf("spec %q: negative exchange workers %d", s.Name, s.ExchangeWorkers)
+	}
+	if s.HistoryTail < 0 {
+		return fmt.Errorf("spec %q: negative history tail %d", s.Name, s.HistoryTail)
 	}
 	// Policies with parameters veto configurations that cannot make
 	// progress (e.g. a zero-length window, which would livelock).

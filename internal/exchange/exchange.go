@@ -128,12 +128,19 @@ type Pair struct{ I, J int }
 // (1,2)(3,4)...; together consecutive sweeps attempt every adjacent pair,
 // the standard alternating scheme of synchronous REMD.
 func NeighborPairs(group []int, sweep int) []Pair {
-	var pairs []Pair
-	start := sweep & 1
-	for i := start; i+1 < len(group); i += 2 {
-		pairs = append(pairs, Pair{group[i], group[i+1]})
+	return AppendNeighborPairs(nil, group, sweep)
+}
+
+// AppendNeighborPairs appends the group's nearest-neighbour pairs for the
+// given sweep to dst and returns the extended slice. It is NeighborPairs
+// with caller-owned storage, so a hot loop building the pair lists of
+// many groups per exchange event can reuse one flat scratch slice
+// instead of allocating per group.
+func AppendNeighborPairs(dst []Pair, group []int, sweep int) []Pair {
+	for i := sweep & 1; i+1 < len(group); i += 2 {
+		dst = append(dst, Pair{group[i], group[i+1]})
 	}
-	return pairs
+	return dst
 }
 
 // RandomPairs returns a random disjoint pairing of the group (used by the

@@ -46,6 +46,12 @@ type RunStatus struct {
 	Cores    int    `json:"cores"`
 	// CyclesTarget is the configured cycle budget.
 	CyclesTarget int `json:"cycles_target"`
+	// ExchangeWorkers and HistoryTail echo the run's scaling
+	// configuration: the exchange-phase worker-pool bound (0 =
+	// GOMAXPROCS-sized) and the retained slot-history rows (0 =
+	// unbounded).
+	ExchangeWorkers int `json:"exchange_workers"`
+	HistoryTail     int `json:"history_tail"`
 	// ExchangeEvents and MDSegments mirror the collector's counters.
 	ExchangeEvents int `json:"exchange_events"`
 	MDSegments     int `json:"md_segments"`

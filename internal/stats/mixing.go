@@ -22,6 +22,11 @@ type MixingStats struct {
 
 // AnalyzeMixing computes mixing statistics from a slot history with
 // nSlots ladder positions. It returns an error for malformed input.
+//
+// When the orchestrator ran with a bounded history (Spec.HistoryTail),
+// the rows passed here cover only the retained tail of the run: the
+// statistics then describe that window, not the whole trajectory, and
+// round trips straddling the truncation point are not counted.
 func AnalyzeMixing(history [][]int, nSlots int) (MixingStats, error) {
 	var s MixingStats
 	if len(history) == 0 {
@@ -45,14 +50,21 @@ func AnalyzeMixing(history [][]int, nSlots int) (MixingStats, error) {
 	totalVisited := 0
 	totalDisp := 0.0
 	dispSamples := 0
+	visited := make([]bool, nSlots)
 	for r := 0; r < nRep; r++ {
-		visited := map[int]bool{}
+		for i := range visited {
+			visited[i] = false
+		}
+		nVisited := 0
 		// Round-trip state machine: -1 = waiting for an endpoint,
 		// 0 = last endpoint was bottom, 1 = last endpoint was top.
 		last := -1
 		for t := range history {
 			slot := history[t][r]
-			visited[slot] = true
+			if !visited[slot] {
+				visited[slot] = true
+				nVisited++
+			}
 			if t > 0 {
 				d := slot - history[t-1][r]
 				if d < 0 {
@@ -74,7 +86,7 @@ func AnalyzeMixing(history [][]int, nSlots int) (MixingStats, error) {
 				last = 1
 			}
 		}
-		totalVisited += len(visited)
+		totalVisited += nVisited
 	}
 	// Two endpoint-to-endpoint halves make one round trip.
 	s.RoundTrips /= 2
