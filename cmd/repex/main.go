@@ -45,6 +45,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -54,6 +56,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/bench"
+	"repro/internal/ckpt"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/engines"
@@ -201,7 +204,7 @@ func run(simPath, resPath, resumePath, ckptPath string, ckptEvery int, listen st
 	triggerName := spec.TriggerName()
 	feedback, _ := spec.Trigger.(*core.FeedbackTrigger)
 
-	var state atomic.Value // "pending" | "running" | "completed" | "failed"
+	var state atomic.Value // core.RunState names: "pending" ... "cancelled"
 	state.Store("pending")
 	var runFailure atomic.Value
 	runFailure.Store("")
@@ -253,34 +256,42 @@ func run(simPath, resPath, resumePath, ckptPath string, ckptEvery int, listen st
 				fmt.Fprintln(os.Stderr, "repex: encoding checkpoint:", err)
 				return
 			}
-			tmp := ckptPath + ".tmp"
-			if err := os.WriteFile(tmp, data, 0o644); err == nil {
-				err = os.Rename(tmp, ckptPath)
-			}
-			if err != nil {
+			if err := ckpt.WriteAtomic(ckptPath, data); err != nil {
 				fmt.Fprintln(os.Stderr, "repex: writing checkpoint:", err)
 			}
 		}
 	}
-	newEngine := func(seed int64) core.Engine {
-		switch simFile.Engine {
-		case "amber-pmemd":
-			return engines.NewPmemdVirtual(simFile.Atoms, seed)
-		case "namd":
-			return engines.NewNAMDVirtual(simFile.Atoms, seed)
-		default:
-			return engines.NewAmberVirtual(simFile.Atoms, seed)
-		}
-	}
+	// SIGINT/SIGTERM cancels through the dispatcher's context path: the
+	// run stops at the next exchange boundary, drains its in-flight
+	// segments and (with -checkpoint) leaves a resumable final snapshot.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	report, err := bench.Run(bench.RunParams{
 		Spec:          spec,
 		Cluster:       machine,
 		PilotCores:    pilotSpec.Cores,
 		PilotWalltime: pilotSpec.Walltime,
-		NewEngine:     newEngine,
-		Seed:          spec.Seed,
-		OnStart:       func(*core.Simulation) { state.Store("running") },
+		Pilots:        pilotSpec.Pilots,
+		NewEngine: func(seed int64) core.Engine {
+			return engines.NewNamedVirtual(simFile.Engine, simFile.Atoms, seed)
+		},
+		Seed:    spec.Seed,
+		Context: ctx,
+		OnStart: func(*core.Simulation) { state.Store("running") },
 	})
+	if errors.Is(err, core.ErrRunCancelled) {
+		state.Store("cancelled")
+		if report != nil {
+			fmt.Print(report.String())
+		}
+		if ckptPath != "" {
+			fmt.Printf("cancelled; resume with -resume %s\n", ckptPath)
+		}
+		if server != nil {
+			_ = server.Close()
+		}
+		return err
+	}
 	if err != nil {
 		// A failed run must exit non-zero promptly even with a listener
 		// active — unattended invocations (cron, CI) would otherwise

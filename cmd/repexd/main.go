@@ -1,0 +1,115 @@
+// Command repexd is the multi-run daemon: a single process that
+// launches, observes and cancels many concurrent replica-exchange
+// simulations over HTTP, sharing one bounded core pool — the service
+// face of the same flexible execution modes cmd/repex runs one at a
+// time.
+//
+// Usage:
+//
+//	repexd [-config daemon.json] [-listen HOST:PORT]
+//	       [-total-cores N] [-max-runs N]
+//
+// The optional config file follows internal/config.Daemon; flags
+// override it. Endpoints (see docs/repexd.md):
+//
+//	POST   /runs              launch from a config.Launch JSON body
+//	GET    /runs              list run statuses
+//	GET    /runs/{id}         one run's status
+//	DELETE /runs/{id}         cancel at the next exchange boundary
+//	GET    /runs/{id}/status  (also /stats, /metrics, /events)
+//	GET    /metrics           aggregate Prometheus scrape, run-labelled
+//	GET    /status            daemon status (runs, pool)
+//	GET    /healthz           liveness probe
+//
+// A resume launch is a POST /runs whose body names a snapshot file in
+// "resume"; checkpoints are written atomically to the "checkpoint"
+// path. On SIGINT/SIGTERM the daemon cancels every active run and
+// waits up to drain_timeout_sec for final snapshots before exiting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/serve"
+)
+
+func main() {
+	cfgPath := flag.String("config", "", "daemon JSON config file (internal/config.Daemon)")
+	listen := flag.String("listen", "", "host:port to bind (overrides the config file)")
+	totalCores := flag.Int("total-cores", -1, "shared core-pool capacity, 0 unbounded (overrides the config file)")
+	maxRuns := flag.Int("max-runs", -1, "concurrently active run bound, 0 unbounded (overrides the config file)")
+	flag.Parse()
+	if err := run(*cfgPath, *listen, *totalCores, *maxRuns); err != nil {
+		fmt.Fprintln(os.Stderr, "repexd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfgPath, listen string, totalCores, maxRuns int) error {
+	var d config.Daemon
+	if cfgPath != "" {
+		data, err := os.ReadFile(cfgPath)
+		if err != nil {
+			return err
+		}
+		parsed, err := config.ParseDaemon(data)
+		if err != nil {
+			return err
+		}
+		d = *parsed
+	} else if err := d.Normalize(); err != nil {
+		return err
+	}
+	if listen != "" {
+		d.Listen = listen
+	}
+	if totalCores >= 0 {
+		d.TotalCores = totalCores
+	}
+	if maxRuns >= 0 {
+		d.MaxRuns = maxRuns
+	}
+
+	reg := serve.NewRegistry(d.TotalCores, d.MaxRuns)
+	lis, err := net.Listen("tcp", d.Listen)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Handler:           reg.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(lis) }()
+	log.Printf("repexd: listening on http://%s (POST /runs to launch)", lis.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		// Graceful drain: stop accepting work, cancel every active run
+		// (each writes its final boundary snapshot if configured) and
+		// bound the wait so a wedged run cannot block shutdown forever.
+		log.Printf("repexd: %s: draining runs", s)
+		_ = srv.Close()
+		reg.CancelAll()
+		timeout := time.Duration(d.DrainTimeoutSec * float64(time.Second))
+		if !reg.Wait(timeout) {
+			return fmt.Errorf("drain timed out after %s with runs still active", timeout)
+		}
+		log.Printf("repexd: drained")
+	}
+	return nil
+}

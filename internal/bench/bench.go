@@ -7,6 +7,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -14,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/pilot"
 	"repro/internal/sim"
+	"repro/internal/task"
 )
 
 // RunParams describes one simulation execution on the virtual cluster.
@@ -26,17 +28,27 @@ type RunParams struct {
 	// the runtime launches a replacement pilot (failover). Zero or
 	// negative means unbounded.
 	PilotWalltime float64
+	// Pilots splits PilotCores across this many concurrent pilots routed
+	// through one MultiRuntime with failover (the multi-pilot execution
+	// the paper's flexible resource mapping describes). Zero or one
+	// keeps the single failover pilot.
+	Pilots int
 	// NewEngine constructs the engine adapter (called once).
 	NewEngine func(seed int64) core.Engine
 	// Seed for cluster jitter and fault draws.
 	Seed int64
+	// Context cancels the run between exchange events (nil means run to
+	// completion); see core.Simulation.RunContext.
+	Context context.Context
 	// OnStart, when set, receives the constructed simulation right
 	// before it runs (cmd/repex uses it to flip its live status
 	// endpoint to "running" once the replica set exists).
 	OnStart func(*core.Simulation)
 }
 
-// Run executes a simulation to completion in virtual time.
+// Run executes a simulation to completion in virtual time. On a run
+// error the returned report, when non-nil, is the partial report of the
+// failed or cancelled run — callers must check the error first.
 func Run(p RunParams) (*core.Report, error) {
 	env := sim.NewEnv()
 	cl, err := cluster.New(env, p.Cluster, p.Seed+1)
@@ -44,11 +56,10 @@ func Run(p RunParams) (*core.Report, error) {
 		return nil, err
 	}
 	eng := p.NewEngine(p.Seed + 2)
-	desc := pilot.Description{Cores: p.PilotCores, Walltime: p.PilotWalltime}
 	var report *core.Report
 	var runErr error
 	env.Go("emm", func(proc *sim.Proc) {
-		rt, err := pilot.NewFailoverRuntime(cl, desc, proc)
+		rt, err := newRuntime(cl, p, proc)
 		if err != nil {
 			runErr = err
 			return
@@ -61,16 +72,48 @@ func Run(p RunParams) (*core.Report, error) {
 		if p.OnStart != nil {
 			p.OnStart(simu)
 		}
-		report, runErr = simu.Run()
+		report, runErr = simu.RunContext(p.Context)
 	})
 	env.Run()
 	if runErr != nil {
-		return nil, runErr
+		return report, runErr
 	}
 	if report == nil {
 		return nil, fmt.Errorf("bench: simulation %q produced no report", p.Spec.Name)
 	}
 	return report, nil
+}
+
+// newRuntime builds the run's task runtime: one failover pilot, or —
+// when Pilots > 1 — PilotCores split across that many pilots behind a
+// failover MultiRuntime (uneven splits give the first pilots one core
+// more).
+func newRuntime(cl *cluster.Cluster, p RunParams, proc *sim.Proc) (task.Runtime, error) {
+	if p.Pilots <= 1 {
+		return pilot.NewFailoverRuntime(cl, pilot.Description{Cores: p.PilotCores, Walltime: p.PilotWalltime}, proc)
+	}
+	per, extra := p.PilotCores/p.Pilots, p.PilotCores%p.Pilots
+	if per < 1 {
+		return nil, fmt.Errorf("bench: %d cores cannot cover %d pilots", p.PilotCores, p.Pilots)
+	}
+	pilots := make([]*pilot.Pilot, p.Pilots)
+	for i := range pilots {
+		cores := per
+		if i < extra {
+			cores++
+		}
+		pl, err := pilot.Launch(cl, pilot.Description{Cores: cores, Walltime: p.PilotWalltime})
+		if err != nil {
+			return nil, err
+		}
+		pilots[i] = pl
+	}
+	mr, err := pilot.NewMultiRuntime(proc, pilots...)
+	if err != nil {
+		return nil, err
+	}
+	mr.Failover = true
+	return mr, nil
 }
 
 // Table is a printable experiment result.

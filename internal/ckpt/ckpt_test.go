@@ -1,0 +1,140 @@
+package ckpt_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/ckpt"
+)
+
+func TestWriteAtomicRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.json")
+	want := []byte(`{"version":3}`)
+	if err := ckpt.WriteAtomic(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ckpt.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("loaded %q, want %q", got, want)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Mode().Perm() != 0o644 {
+		t.Fatalf("checkpoint mode %v, want 0644", fi.Mode().Perm())
+	}
+}
+
+func TestWriteAtomicLeavesNoTempResidue(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.json")
+	for i := 0; i < 5; i++ {
+		if err := ckpt.WriteAtomic(path, []byte(fmt.Sprintf("gen %d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp residue %s after successful writes", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Fatalf("%d entries in checkpoint dir, want only the checkpoint", len(entries))
+	}
+}
+
+func TestWriteAtomicOverwritesCompletely(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.json")
+	if err := ckpt.WriteAtomic(path, []byte(strings.Repeat("x", 4096))); err != nil {
+		t.Fatal(err)
+	}
+	if err := ckpt.WriteAtomic(path, []byte("short")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ckpt.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "short" {
+		t.Fatalf("shrinking overwrite left %d bytes", len(got))
+	}
+}
+
+// Concurrent writers on one path must each publish a complete file:
+// unique temp names mean the final content is exactly one writer's
+// payload, never an interleaving.
+func TestWriteAtomicConcurrentWriters(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.json")
+	const writers = 16
+	payload := func(i int) string { return strings.Repeat(fmt.Sprintf("%02d", i), 2048) }
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = ckpt.WriteAtomic(path, []byte(payload(i)))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", i, err)
+		}
+	}
+	got, err := ckpt.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := false
+	for i := 0; i < writers; i++ {
+		if string(got) == payload(i) {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		t.Fatalf("final checkpoint is no single writer's payload (%d bytes)", len(got))
+	}
+}
+
+func TestWriteAtomicErrorLeavesDestination(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "missing-subdir", "snap.json")
+	if err := ckpt.WriteAtomic(path, []byte("x")); err == nil {
+		t.Fatal("write into a missing directory succeeded")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("failed write left %d entries behind", len(entries))
+	}
+}
+
+func TestLoadFailsFast(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "nope.json")
+	if _, err := ckpt.Load(missing); err == nil || !strings.Contains(err.Error(), missing) {
+		t.Fatalf("missing checkpoint error %v does not name the path", err)
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ckpt.Load(empty); err == nil || !strings.Contains(err.Error(), "empty") {
+		t.Fatalf("empty checkpoint error %v", err)
+	}
+}

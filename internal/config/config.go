@@ -145,7 +145,11 @@ type Resource struct {
 	WalltimeSec  float64 `json:"walltime_sec,omitempty"`
 	QueueWaitSec float64 `json:"queue_wait_sec,omitempty"`
 	FailureProb  float64 `json:"failure_prob,omitempty"`
-	Seed         int64   `json:"seed,omitempty"`
+	// Pilots splits pilot_cores across this many concurrent pilots
+	// behind one failover multi-runtime (0 or 1: a single pilot). Each
+	// pilot must get at least one core.
+	Pilots int   `json:"pilots,omitempty"`
+	Seed   int64 `json:"seed,omitempty"`
 }
 
 // PilotSpec is the pilot request parsed from a resource file.
@@ -154,6 +158,9 @@ type PilotSpec struct {
 	Cores int
 	// Walltime is the pilot walltime bound in seconds (<= 0 unbounded).
 	Walltime float64
+	// Pilots is the concurrent pilot count the cores are split across
+	// (<= 1: one pilot).
+	Pilots int
 }
 
 // ParseSimulation decodes and validates a simulation file.
@@ -162,6 +169,17 @@ func ParseSimulation(data []byte) (*Simulation, error) {
 	if err := json.Unmarshal(data, &s); err != nil {
 		return nil, fmt.Errorf("config: %v", err)
 	}
+	if err := s.Normalize(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Normalize applies the file-level defaults and validates the
+// simulation, including a ToSpec dry run. ParseSimulation calls it
+// after decoding; callers that build a Simulation in memory (the repexd
+// launch path) call it directly.
+func (s *Simulation) Normalize() error {
 	if s.Atoms <= 0 {
 		s.Atoms = 2881 // the paper's small benchmark system
 	}
@@ -171,15 +189,15 @@ func ParseSimulation(data []byte) (*Simulation, error) {
 	switch s.Engine {
 	case "amber", "amber-pmemd", "namd":
 	default:
-		return nil, fmt.Errorf("config: unknown engine %q", s.Engine)
+		return fmt.Errorf("config: unknown engine %q", s.Engine)
 	}
 	if s.Serve != nil && s.Serve.Listen == "" {
-		return nil, fmt.Errorf("config: serve block requires a listen address (host:port)")
+		return fmt.Errorf("config: serve block requires a listen address (host:port)")
 	}
 	if _, err := s.ToSpec(); err != nil {
-		return nil, err
+		return err
 	}
-	return &s, nil
+	return nil
 }
 
 // ToSpec converts the file to a core.Spec.
@@ -374,12 +392,19 @@ func (d Dim) toDimension() (core.Dimension, error) {
 }
 
 // ParseResource decodes and validates a resource file, returning the
-// machine config and the pilot request (size + walltime).
+// machine config and the pilot request (size + walltime + pilot count).
 func ParseResource(data []byte) (cluster.Config, PilotSpec, error) {
 	var r Resource
 	if err := json.Unmarshal(data, &r); err != nil {
 		return cluster.Config{}, PilotSpec{}, fmt.Errorf("config: %v", err)
 	}
+	return r.Resolve()
+}
+
+// Resolve validates the resource and returns the machine config plus
+// the pilot request. ParseResource calls it after decoding; the repexd
+// launch path calls it on an in-memory Resource.
+func (r *Resource) Resolve() (cluster.Config, PilotSpec, error) {
 	var cfg cluster.Config
 	switch r.Machine {
 	case "stampede":
@@ -413,8 +438,14 @@ func ParseResource(data []byte) (cluster.Config, PilotSpec, error) {
 	if r.WalltimeSec < 0 {
 		return cluster.Config{}, PilotSpec{}, fmt.Errorf("config: walltime_sec must be non-negative")
 	}
+	if r.Pilots < 0 {
+		return cluster.Config{}, PilotSpec{}, fmt.Errorf("config: pilots must be non-negative")
+	}
+	if r.Pilots > 1 && r.PilotCores/r.Pilots < 1 {
+		return cluster.Config{}, PilotSpec{}, fmt.Errorf("config: %d pilot_cores cannot cover %d pilots", r.PilotCores, r.Pilots)
+	}
 	if err := cfg.Validate(); err != nil {
 		return cluster.Config{}, PilotSpec{}, err
 	}
-	return cfg, PilotSpec{Cores: r.PilotCores, Walltime: r.WalltimeSec}, nil
+	return cfg, PilotSpec{Cores: r.PilotCores, Walltime: r.WalltimeSec, Pilots: r.Pilots}, nil
 }

@@ -55,6 +55,8 @@ func TestConfigKeysDocumented(t *testing.T) {
 	}
 	walk(reflect.TypeOf(Simulation{}), "Simulation")
 	walk(reflect.TypeOf(Resource{}), "Resource")
+	walk(reflect.TypeOf(Launch{}), "Launch")
+	walk(reflect.TypeOf(Daemon{}), "Daemon")
 
 	if len(keys) < 20 {
 		t.Fatalf("reflection walk found only %d keys; file shapes not reached", len(keys))

@@ -1,0 +1,109 @@
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Launch is the JSON body of a repexd POST /runs request: one
+// simulation plus the resource it runs on, optionally resuming from a
+// checkpoint file and writing new checkpoints while running.
+type Launch struct {
+	// Sim is the simulation block, in the exact shape of a simulation
+	// config file.
+	Sim *Simulation `json:"sim"`
+	// Res is the resource block, in the exact shape of a resource
+	// config file.
+	Res *Resource `json:"res"`
+	// Resume is a checkpoint file path on the daemon host to resume
+	// from (empty: start fresh).
+	Resume string `json:"resume,omitempty"`
+	// Checkpoint is the file path the run writes its snapshots to —
+	// periodically every CheckpointEvery events, and always at the
+	// cancellation boundary. Empty disables checkpointing.
+	Checkpoint string `json:"checkpoint,omitempty"`
+	// CheckpointEvery is the exchange-event period of periodic
+	// snapshots (0 with a Checkpoint path: only the cancellation
+	// snapshot is written).
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+}
+
+// ParseLaunch decodes and validates a run-launch request body: both
+// blocks present, the simulation normalized (defaults + spec dry run)
+// and the resource resolved.
+func ParseLaunch(data []byte) (*Launch, error) {
+	var l Launch
+	if err := json.Unmarshal(data, &l); err != nil {
+		return nil, fmt.Errorf("config: %v", err)
+	}
+	if l.Sim == nil {
+		return nil, fmt.Errorf("config: launch request needs a \"sim\" block")
+	}
+	if l.Res == nil {
+		return nil, fmt.Errorf("config: launch request needs a \"res\" block")
+	}
+	if err := l.Sim.Normalize(); err != nil {
+		return nil, err
+	}
+	if _, _, err := l.Res.Resolve(); err != nil {
+		return nil, err
+	}
+	if l.CheckpointEvery < 0 {
+		return nil, fmt.Errorf("config: checkpoint_every must be non-negative")
+	}
+	if l.CheckpointEvery > 0 && l.Checkpoint == "" {
+		return nil, fmt.Errorf("config: checkpoint_every without a checkpoint path")
+	}
+	return &l, nil
+}
+
+// Daemon is the JSON shape of a repexd daemon config file (every key
+// optional; flags override).
+type Daemon struct {
+	// Listen is the daemon's host:port (default "127.0.0.1:8600"; port
+	// 0 picks a free port).
+	Listen string `json:"listen,omitempty"`
+	// TotalCores bounds the process-wide core pool shared by all
+	// concurrent runs: a run whose pilot_cores do not fit is rejected
+	// with 429. 0 means unbounded.
+	TotalCores int `json:"total_cores,omitempty"`
+	// MaxRuns bounds concurrently active (non-terminal) runs. 0 means
+	// unbounded.
+	MaxRuns int `json:"max_runs,omitempty"`
+	// DrainTimeoutSec bounds the graceful SIGTERM drain: cancelled runs
+	// that have not reached a terminal state by then are abandoned.
+	// 0 selects the default 30 s.
+	DrainTimeoutSec float64 `json:"drain_timeout_sec,omitempty"`
+}
+
+// ParseDaemon decodes and validates a daemon config file.
+func ParseDaemon(data []byte) (*Daemon, error) {
+	var d Daemon
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("config: %v", err)
+	}
+	if err := d.Normalize(); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// Normalize applies the daemon defaults and validates the values.
+func (d *Daemon) Normalize() error {
+	if d.Listen == "" {
+		d.Listen = "127.0.0.1:8600"
+	}
+	if d.TotalCores < 0 {
+		return fmt.Errorf("config: total_cores must be non-negative")
+	}
+	if d.MaxRuns < 0 {
+		return fmt.Errorf("config: max_runs must be non-negative")
+	}
+	if d.DrainTimeoutSec < 0 {
+		return fmt.Errorf("config: drain_timeout_sec must be non-negative")
+	}
+	if d.DrainTimeoutSec == 0 {
+		d.DrainTimeoutSec = 30
+	}
+	return nil
+}

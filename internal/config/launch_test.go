@@ -1,0 +1,91 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+const launchSim = `{
+	"name": "t8",
+	"dimensions": [{"type": "T", "count": 8, "min": 273, "max": 373}],
+	"cores_per_replica": 1,
+	"steps_per_cycle": 2000,
+	"cycles": 2
+}`
+
+func TestParseLaunch(t *testing.T) {
+	body := `{"sim": ` + launchSim + `, "res": {"machine": "small", "nodes": 1, "cores_per_node": 8, "pilot_cores": 8}}`
+	l, err := ParseLaunch([]byte(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Sim.Engine != "amber" || l.Sim.Atoms != 2881 {
+		t.Fatalf("launch sim not normalized: engine %q atoms %d", l.Sim.Engine, l.Sim.Atoms)
+	}
+	if _, _, err := l.Res.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseLaunchValidation(t *testing.T) {
+	cases := []struct {
+		name, body, want string
+	}{
+		{"missing sim", `{"res": {"machine": "small", "nodes": 1, "cores_per_node": 8, "pilot_cores": 8}}`, `"sim" block`},
+		{"missing res", `{"sim": ` + launchSim + `}`, `"res" block`},
+		{"bad sim", `{"sim": {"name": "x"}, "res": {"machine": "small", "nodes": 1, "cores_per_node": 8, "pilot_cores": 8}}`, ""},
+		{"bad res", `{"sim": ` + launchSim + `, "res": {"machine": "nope", "pilot_cores": 8}}`, "unknown machine"},
+		{"negative every", `{"sim": ` + launchSim + `, "res": {"machine": "small", "nodes": 1, "cores_per_node": 8, "pilot_cores": 8}, "checkpoint_every": -1}`, "non-negative"},
+		{"every without path", `{"sim": ` + launchSim + `, "res": {"machine": "small", "nodes": 1, "cores_per_node": 8, "pilot_cores": 8}, "checkpoint_every": 3}`, "without a checkpoint path"},
+	}
+	for _, tc := range cases {
+		_, err := ParseLaunch([]byte(tc.body))
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestParseDaemon(t *testing.T) {
+	d, err := ParseDaemon([]byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Listen != "127.0.0.1:8600" || d.DrainTimeoutSec != 30 {
+		t.Fatalf("daemon defaults: %+v", d)
+	}
+	d, err = ParseDaemon([]byte(`{"listen": "127.0.0.1:0", "total_cores": 64, "max_runs": 4, "drain_timeout_sec": 5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.TotalCores != 64 || d.MaxRuns != 4 || d.DrainTimeoutSec != 5 {
+		t.Fatalf("daemon values lost: %+v", d)
+	}
+	for _, bad := range []string{
+		`{"total_cores": -1}`, `{"max_runs": -2}`, `{"drain_timeout_sec": -1}`, `{nope`,
+	} {
+		if _, err := ParseDaemon([]byte(bad)); err == nil {
+			t.Errorf("daemon config %s accepted", bad)
+		}
+	}
+}
+
+func TestResourcePilots(t *testing.T) {
+	_, ps, err := ParseResource([]byte(`{"machine": "small", "nodes": 2, "cores_per_node": 8, "pilot_cores": 16, "pilots": 4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Pilots != 4 || ps.Cores != 16 {
+		t.Fatalf("pilot spec %+v", ps)
+	}
+	if _, _, err := ParseResource([]byte(`{"machine": "small", "nodes": 1, "cores_per_node": 8, "pilot_cores": 4, "pilots": 8}`)); err == nil {
+		t.Fatal("4 cores over 8 pilots accepted")
+	}
+	if _, _, err := ParseResource([]byte(`{"machine": "small", "nodes": 1, "cores_per_node": 8, "pilot_cores": 8, "pilots": -1}`)); err == nil {
+		t.Fatal("negative pilots accepted")
+	}
+}

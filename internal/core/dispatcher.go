@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/exchange"
 	"repro/internal/task"
@@ -40,7 +42,9 @@ type mdFlight struct {
 }
 
 // dispatch runs the simulation to completion under the given trigger
-// policy.
+// policy, or until ctx is cancelled (checked at exchange-event
+// boundaries only, so every observable stop point has the shape of a
+// periodic snapshot).
 //
 // Aligned policies (the barrier) reproduce the synchronous pattern
 // exactly: each round is one (cycle, dimension) sub-cycle over all alive
@@ -49,7 +53,7 @@ type mdFlight struct {
 // overhead. Non-aligned policies reproduce the asynchronous shape:
 // completions are processed as they arrive, exchanges run over the ready
 // subset, and each record covers one exchange event.
-func (s *Simulation) dispatch(tr Trigger) error {
+func (s *Simulation) dispatch(ctx context.Context, tr Trigger) error {
 	spec := s.spec
 	ndims := len(spec.Dims)
 	aligned := tr.Aligned()
@@ -206,6 +210,45 @@ func (s *Simulation) dispatch(tr Trigger) error {
 		return true
 	}
 
+	// cancelRun stops the run at an exchange-event boundary. The snapshot
+	// is captured first, so it has exactly the shape of a periodic one:
+	// taken right after a fire, with no partially-absorbed MD results.
+	// Every in-flight segment is then awaited and discarded — never
+	// absorbed into replica state, so the engine's RNG stream stays at
+	// the boundary and the discarded segments are simply redone on
+	// resume, reproducing the uninterrupted run's slot history exactly.
+	cancelRun := func() error {
+		sn, snErr := s.captureSnapshot(tr, event)
+		for pending > 0 {
+			for _, h := range s.rt.AwaitNext(math.Inf(1)) {
+				f := owner[h]
+				delete(owner, h)
+				pending--
+				s.report.CancelledUnits++
+				s.publish(FaultEvent{At: s.rt.Now(), Replica: f.r.ID,
+					Kind: FaultKindCancelled})
+				freeFlight(f)
+			}
+		}
+		batch = batch[:0]
+		ready = ready[:0]
+		done, readyB = 0, 0
+		s.flushBus()
+		if snErr != nil {
+			return snErr
+		}
+		if s.spec.OnSnapshot != nil {
+			s.spec.OnSnapshot(sn)
+		}
+		return fmt.Errorf("core: %w at exchange event %d", ErrRunCancelled, event)
+	}
+
+	// A context cancelled before the run starts stops at event 0 — the
+	// same boundary semantics, with nothing in flight yet.
+	if ctx.Err() != nil {
+		return cancelRun()
+	}
+
 	roundT0 = s.rt.Now()
 	submit(s.budgetedReplicas(segBudget))
 	tr.Reset(state())
@@ -318,6 +361,13 @@ func (s *Simulation) dispatch(tr Trigger) error {
 			if fired {
 				if err := s.maybeSnapshot(tr, event); err != nil {
 					return err
+				}
+				// Cancellation is honoured only at fired boundaries: after
+				// a no-op fire, ready-but-unexchanged replicas would not be
+				// reconstructible from a snapshot, so the run keeps going
+				// to the next real exchange event.
+				if ctx.Err() != nil {
+					return cancelRun()
 				}
 			}
 

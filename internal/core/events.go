@@ -85,6 +85,9 @@ const (
 	FaultKindResourceLost = "resource-lost"
 	// FaultKindDrop is a terminal failure that removed the replica.
 	FaultKindDrop = "drop"
+	// FaultKindCancelled is an in-flight MD segment discarded by run
+	// cancellation; its segment is redone on resume.
+	FaultKindCancelled = "cancelled"
 )
 
 // FaultEvent records one fault-handling action.
@@ -133,6 +136,28 @@ func (b *Bus) Subscribe(buffer int) *Subscription {
 	b.subs.Store(&subs)
 	b.mu.Unlock()
 	return s
+}
+
+// Unsubscribe removes a subscription registered with Subscribe; events
+// published afterwards are no longer delivered to it. Removing a
+// subscription that is not registered (or removing twice) is a no-op.
+// Long-lived buses with transient consumers (e.g. SSE streams) must
+// unsubscribe, or their rings stay reachable forever.
+func (b *Bus) Unsubscribe(target *Subscription) {
+	if b == nil || target == nil {
+		return
+	}
+	b.mu.Lock()
+	if old := b.subs.Load(); old != nil {
+		subs := make([]*Subscription, 0, len(*old))
+		for _, s := range *old {
+			if s != target {
+				subs = append(subs, s)
+			}
+		}
+		b.subs.Store(&subs)
+	}
+	b.mu.Unlock()
 }
 
 // Publish delivers ev to every subscriber without blocking: full rings

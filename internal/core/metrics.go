@@ -130,6 +130,10 @@ type Report struct {
 
 	Dropped    int
 	Relaunches int
+	// CancelledUnits counts the in-flight MD segments discarded when the
+	// run was cancelled through RunContext; their segments are redone on
+	// resume.
+	CancelledUnits int
 
 	// SlotHistory records each replica's slot after every exchange event
 	// (row = event, column = replica ID; one event per sub-cycle under

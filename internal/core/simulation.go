@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/exchange"
 	"repro/internal/md"
@@ -73,6 +74,10 @@ type Simulation struct {
 	resumeEvents  int
 	resumeElapsed float64
 	resumed       bool
+
+	// state is the run's lifecycle state (RunState), readable
+	// concurrently through State while the dispatcher runs.
+	state atomic.Int32
 
 	report *Report
 }
@@ -191,23 +196,6 @@ func (s *Simulation) Grid() exchange.Grid { return s.grid }
 
 // SlotParams returns the fixed parameters of a slot.
 func (s *Simulation) SlotParams(slot int) md.Params { return s.slotParams[slot] }
-
-// Run executes the simulation under the spec's exchange-trigger policy
-// (derived from the RE pattern when none is set explicitly) and returns
-// the report.
-func (s *Simulation) Run() (*Report, error) {
-	// A resumed run back-dates its start by the snapshot's elapsed time,
-	// keeping Makespan and Utilization cumulative over the whole
-	// simulation rather than just the post-resume segment.
-	s.report.Start = s.rt.Now() - s.resumeElapsed
-	tr, err := s.spec.triggerPolicy()
-	if err == nil {
-		s.report.Trigger = tr.Name()
-		err = s.dispatch(tr)
-	}
-	s.report.End = s.rt.Now()
-	return s.report, err
-}
 
 // finishMD processes one final MD task result: cycle count and energy
 // refresh, or replica death. Relaunchable failures never reach this

@@ -226,6 +226,21 @@ func NewNAMDVirtual(natoms int, seed int64) *Virtual {
 	return NewVirtual("namd", NAMDModel(), natoms, seed)
 }
 
+// NewNamedVirtual maps a config engine name ("amber", "amber-pmemd",
+// "namd") to its virtual adapter; unknown names get the sander model,
+// matching the config layer's default. cmd/repex and repexd share this
+// mapping.
+func NewNamedVirtual(engine string, natoms int, seed int64) *Virtual {
+	switch engine {
+	case "amber-pmemd":
+		return NewPmemdVirtual(natoms, seed)
+	case "namd":
+		return NewNAMDVirtual(natoms, seed)
+	default:
+		return NewAmberVirtual(natoms, seed)
+	}
+}
+
 // mix produces a deterministic seed from components.
 func mix(parts ...int64) int64 {
 	var h int64 = 1469598103934665603

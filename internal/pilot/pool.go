@@ -1,0 +1,84 @@
+package pilot
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrPoolExhausted is returned by Pool.Acquire when the requested cores
+// would exceed the pool's total. Callers (the repexd run registry) turn
+// it into an admission rejection rather than queueing: a run that
+// cannot get its cores now should fail fast, not deadlock the pool.
+var ErrPoolExhausted = errors.New("pilot: core pool exhausted")
+
+// Pool is a process-wide admission controller over a bounded number of
+// cores shared by concurrent runs. Each run's pilots exist in that
+// run's own simulated environment, so the runs cannot share one runtime
+// object; what they share is the core budget — Acquire before launching
+// a run's pilots, Release when the run ends. A nil *Pool admits
+// everything (single-run tools don't need a budget).
+type Pool struct {
+	mu    sync.Mutex
+	total int
+	used  int
+}
+
+// NewPool returns a pool of the given total cores. A non-positive
+// total returns nil: the unbounded pool.
+func NewPool(total int) *Pool {
+	if total <= 0 {
+		return nil
+	}
+	return &Pool{total: total}
+}
+
+// Acquire reserves cores for one run, or returns an error wrapping
+// ErrPoolExhausted stating the shortfall.
+func (p *Pool) Acquire(cores int) error {
+	if p == nil {
+		return nil
+	}
+	if cores <= 0 {
+		return fmt.Errorf("pilot: acquiring %d cores", cores)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.used+cores > p.total {
+		return fmt.Errorf("%w: %d requested, %d of %d available",
+			ErrPoolExhausted, cores, p.total-p.used, p.total)
+	}
+	p.used += cores
+	return nil
+}
+
+// Release returns cores reserved by a successful Acquire.
+func (p *Pool) Release(cores int) {
+	if p == nil || cores <= 0 {
+		return
+	}
+	p.mu.Lock()
+	p.used -= cores
+	if p.used < 0 {
+		p.used = 0
+	}
+	p.mu.Unlock()
+}
+
+// Total returns the pool's core budget (0 for the unbounded nil pool).
+func (p *Pool) Total() int {
+	if p == nil {
+		return 0
+	}
+	return p.total
+}
+
+// Used returns the currently reserved cores.
+func (p *Pool) Used() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.used
+}

@@ -1,0 +1,85 @@
+package pilot
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestPoolAdmission(t *testing.T) {
+	p := NewPool(64)
+	if err := p.Acquire(48); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Acquire(32); !errors.Is(err, ErrPoolExhausted) {
+		t.Fatalf("over-budget acquire returned %v, want ErrPoolExhausted", err)
+	}
+	if err := p.Acquire(16); err != nil {
+		t.Fatalf("exact-fit acquire failed: %v", err)
+	}
+	if got := p.Used(); got != 64 {
+		t.Fatalf("used %d, want 64", got)
+	}
+	p.Release(48)
+	if err := p.Acquire(40); err != nil {
+		t.Fatalf("acquire after release failed: %v", err)
+	}
+	if p.Total() != 64 {
+		t.Fatalf("total %d, want 64", p.Total())
+	}
+}
+
+func TestPoolNilIsUnbounded(t *testing.T) {
+	var p *Pool
+	for i := 0; i < 100; i++ {
+		if err := p.Acquire(1 << 20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Release(1 << 20)
+	if p.Total() != 0 || p.Used() != 0 {
+		t.Fatal("nil pool reports a budget")
+	}
+	if NewPool(0) != nil {
+		t.Fatal("NewPool(0) must return the unbounded nil pool")
+	}
+}
+
+func TestPoolInvalidAcquire(t *testing.T) {
+	p := NewPool(8)
+	if err := p.Acquire(0); err == nil {
+		t.Fatal("zero-core acquire accepted")
+	}
+	if err := p.Acquire(-4); err == nil {
+		t.Fatal("negative acquire accepted")
+	}
+	p.Release(100) // over-release clamps, never goes negative
+	if p.Used() != 0 {
+		t.Fatalf("used %d after over-release, want 0", p.Used())
+	}
+}
+
+// Admission must stay consistent under concurrent runs acquiring and
+// releasing: never more than total reserved, bookkeeping exact.
+func TestPoolConcurrent(t *testing.T) {
+	p := NewPool(32)
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if err := p.Acquire(4); err == nil {
+					if u := p.Used(); u > 32 {
+						t.Errorf("used %d exceeds total 32", u)
+					}
+					p.Release(4)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if p.Used() != 0 {
+		t.Fatalf("used %d after all releases, want 0", p.Used())
+	}
+}

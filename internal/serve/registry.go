@@ -1,0 +1,554 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/bench"
+	"repro/internal/ckpt"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/engines"
+	"repro/internal/pilot"
+)
+
+// ErrMaxRuns rejects a launch while the configured number of active
+// (non-terminal) runs is already reached.
+var ErrMaxRuns = errors.New("serve: active-run limit reached")
+
+// ErrRunNotFound reports an unknown run id.
+var ErrRunNotFound = errors.New("serve: no such run")
+
+// Run is one registry-owned simulation: its own event bus, collector
+// and per-run endpoints, executing on its own goroutine so many runs
+// share one process (and one core pool) without sharing any state.
+type Run struct {
+	// ID is the registry-assigned identifier ("r1", "r2", ...).
+	ID string
+
+	spec   *core.Spec
+	bus    *core.Bus
+	col    *analysis.Collector
+	srv    *Server
+	engine string
+	cores  int
+	cancel context.CancelFunc
+	// done closes when the run goroutine has finished and report/err
+	// carry the outcome.
+	done chan struct{}
+
+	mu     sync.Mutex
+	state  core.RunState
+	report *core.Report
+	err    error
+}
+
+// State returns the run's lifecycle state.
+func (r *Run) State() core.RunState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state
+}
+
+// Done closes when the run reaches a terminal state.
+func (r *Run) Done() <-chan struct{} { return r.done }
+
+// Result returns the run's final report and error; the report may be
+// the partial report of a failed or cancelled run, and both are nil/nil
+// until Done closes.
+func (r *Run) Result() (*core.Report, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.report, r.err
+}
+
+// Cancel requests cancellation; the dispatcher honours it at the next
+// fired exchange boundary (idempotent, safe after completion).
+func (r *Run) Cancel() { r.cancel() }
+
+// baseStatus is the run's status-source for its Server: the static
+// configuration plus the lifecycle state (the Server merges in the
+// collector's live counters).
+func (r *Run) baseStatus() RunStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := RunStatus{
+		ID:              r.ID,
+		Name:            r.spec.Name,
+		Engine:          r.engine,
+		Trigger:         r.spec.TriggerName(),
+		State:           r.state.String(),
+		Replicas:        r.spec.Replicas(),
+		Cores:           r.cores,
+		CyclesTarget:    r.spec.Cycles,
+		ExchangeWorkers: r.spec.ExchangeWorkers,
+		HistoryTail:     r.spec.HistoryTail,
+		BusPublished:    r.bus.Published(),
+	}
+	if fb, ok := r.spec.Trigger.(*core.FeedbackTrigger); ok {
+		st.Feedback = fb.ControllerStatus()
+	}
+	if r.err != nil && !errors.Is(r.err, core.ErrRunCancelled) {
+		st.Error = r.err.Error()
+	}
+	return st
+}
+
+// fullStatus merges the base status with the collector's counters, the
+// same view /runs/{id}/status serves.
+func (r *Run) fullStatus() RunStatus {
+	stats := r.srv.snapshot(false)
+	return r.srv.runStatusFrom(&stats)
+}
+
+// view renders the run as one contribution to an aggregate metrics
+// exposition.
+func (r *Run) view() runView {
+	stats := r.srv.snapshot(false)
+	return runView{run: r.ID, stats: stats, st: r.srv.runStatusFrom(&stats)}
+}
+
+func (r *Run) finish(report *core.Report, err error) {
+	r.mu.Lock()
+	r.report, r.err = report, err
+	switch {
+	case err == nil:
+		r.state = core.RunCompleted
+	case errors.Is(err, core.ErrRunCancelled):
+		r.state = core.RunCancelled
+	default:
+		r.state = core.RunFailed
+	}
+	r.mu.Unlock()
+	close(r.done)
+}
+
+// Registry is the multi-run control plane behind repexd: it launches
+// runs from posted configs, admits them against one process-wide core
+// pool, and serves per-run and aggregate observability endpoints. Every
+// run owns its bus, collector and simulation environment, so runs never
+// share mutable state — only the admission pool.
+type Registry struct {
+	pool    *pilot.Pool
+	maxRuns int
+
+	mu     sync.Mutex
+	runs   map[string]*Run
+	order  []*Run
+	nextID int
+	wg     sync.WaitGroup
+	mux    *http.ServeMux
+}
+
+// NewRegistry builds a registry admitting runs against totalCores
+// shared cores (0: unbounded) and at most maxRuns concurrently active
+// runs (0: unbounded).
+func NewRegistry(totalCores, maxRuns int) *Registry {
+	g := &Registry{
+		pool:    pilot.NewPool(totalCores),
+		maxRuns: maxRuns,
+		runs:    map[string]*Run{},
+		mux:     http.NewServeMux(),
+	}
+	g.mux.HandleFunc("POST /runs", g.handleLaunch)
+	g.mux.HandleFunc("GET /runs", g.handleList)
+	g.mux.HandleFunc("GET /runs/{id}", g.perRun((*Server).handleStatus))
+	g.mux.HandleFunc("DELETE /runs/{id}", g.handleCancel)
+	g.mux.HandleFunc("GET /runs/{id}/status", g.perRun((*Server).handleStatus))
+	g.mux.HandleFunc("GET /runs/{id}/stats", g.perRun((*Server).handleStats))
+	g.mux.HandleFunc("GET /runs/{id}/metrics", g.perRun((*Server).handleMetrics))
+	g.mux.HandleFunc("GET /runs/{id}/events", g.handleEvents)
+	g.mux.HandleFunc("GET /metrics", g.handleAggregateMetrics)
+	g.mux.HandleFunc("GET /status", g.handleDaemonStatus)
+	g.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return g
+}
+
+// Handler exposes the registry's route table.
+func (g *Registry) Handler() http.Handler { return g.mux }
+
+// Pool exposes the shared admission pool (nil when unbounded).
+func (g *Registry) Pool() *pilot.Pool { return g.pool }
+
+// Launch starts one run from a validated launch request. It performs
+// all fallible setup (spec construction, checkpoint load, collector
+// restore) before admission, so a rejected or failed launch never
+// consumes pool cores. Admission errors wrap pilot.ErrPoolExhausted or
+// ErrMaxRuns.
+func (g *Registry) Launch(l *config.Launch) (*Run, error) {
+	spec, err := l.Sim.ToSpec()
+	if err != nil {
+		return nil, err
+	}
+	machine, ps, err := l.Res.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	if l.Resume != "" {
+		data, err := ckpt.Load(l.Resume)
+		if err != nil {
+			return nil, err
+		}
+		snap, err := core.DecodeSnapshot(data)
+		if err != nil {
+			return nil, fmt.Errorf("serve: resume checkpoint %s: %v", l.Resume, err)
+		}
+		spec.Resume = snap
+	}
+
+	// Per-run bus and collector: the registry always attaches them so
+	// /runs/{id}/stats, /metrics and /events work for every run, and so
+	// events from concurrent runs can never reach another run's view.
+	spec.Bus = core.NewBus()
+	colCfg := analysis.ConfigFromSpec(spec)
+	colCfg.WindowEvents = l.Sim.WindowEvents
+	col := analysis.New(colCfg)
+	col.Attach(spec.Bus, analysis.RunBuffer(spec))
+	if spec.Resume != nil {
+		if len(spec.Resume.Analysis) > 0 {
+			if err := col.Restore(spec.Resume.Analysis); err != nil {
+				return nil, fmt.Errorf("serve: resume checkpoint %s: %v", l.Resume, err)
+			}
+		} else if err := col.SeedResume(spec.Resume); err != nil {
+			return nil, fmt.Errorf("serve: resume checkpoint %s: %v", l.Resume, err)
+		}
+	}
+
+	g.mu.Lock()
+	if g.maxRuns > 0 {
+		active := 0
+		for _, r := range g.order {
+			if !r.State().Terminal() {
+				active++
+			}
+		}
+		if active >= g.maxRuns {
+			g.mu.Unlock()
+			return nil, fmt.Errorf("%w: %d active", ErrMaxRuns, active)
+		}
+	}
+	if err := g.pool.Acquire(ps.Cores); err != nil {
+		g.mu.Unlock()
+		return nil, err
+	}
+	g.nextID++
+	id := fmt.Sprintf("r%d", g.nextID)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	run := &Run{
+		ID:     id,
+		spec:   spec,
+		bus:    spec.Bus,
+		col:    col,
+		engine: l.Sim.Engine,
+		cores:  ps.Cores,
+		cancel: cancel,
+		done:   make(chan struct{}),
+		state:  core.RunPending,
+	}
+	run.srv = New(col, run.baseStatus)
+	run.srv.SetRunLabel(id)
+	g.runs[id] = run
+	g.order = append(g.order, run)
+	g.wg.Add(1)
+	g.mu.Unlock()
+
+	if l.Checkpoint != "" {
+		path := l.Checkpoint
+		spec.SnapshotEvery = l.CheckpointEvery
+		// With CheckpointEvery 0 the dispatcher writes no periodic
+		// snapshots, but a cancellation still delivers its final
+		// boundary snapshot here.
+		spec.OnSnapshot = func(sn *core.Snapshot) {
+			if data, err := col.EncodeState(); err == nil {
+				sn.Analysis = data
+			} else {
+				log.Printf("repexd: run %s: encoding analysis state: %v", id, err)
+			}
+			data, err := sn.Encode()
+			if err == nil {
+				err = ckpt.WriteAtomic(path, data)
+			}
+			if err != nil {
+				log.Printf("repexd: run %s: checkpoint: %v", id, err)
+			}
+		}
+	}
+
+	atoms, engine := l.Sim.Atoms, l.Sim.Engine
+	go func() {
+		defer g.wg.Done()
+		defer g.pool.Release(ps.Cores)
+		report, err := bench.Run(bench.RunParams{
+			Spec:          spec,
+			Cluster:       machine,
+			PilotCores:    ps.Cores,
+			PilotWalltime: ps.Walltime,
+			Pilots:        ps.Pilots,
+			NewEngine: func(seed int64) core.Engine {
+				return engines.NewNamedVirtual(engine, atoms, seed)
+			},
+			Seed:    spec.Seed,
+			Context: ctx,
+			OnStart: func(*core.Simulation) {
+				run.mu.Lock()
+				run.state = core.RunRunning
+				run.mu.Unlock()
+			},
+		})
+		run.finish(report, err)
+	}()
+	return run, nil
+}
+
+// Get returns a run by id.
+func (g *Registry) Get(id string) (*Run, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	r, ok := g.runs[id]
+	return r, ok
+}
+
+// List returns every run in launch order.
+func (g *Registry) List() []*Run {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]*Run(nil), g.order...)
+}
+
+// Cancel requests cancellation of one run.
+func (g *Registry) Cancel(id string) error {
+	r, ok := g.Get(id)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrRunNotFound, id)
+	}
+	r.Cancel()
+	return nil
+}
+
+// CancelAll requests cancellation of every non-terminal run (the
+// SIGTERM drain path).
+func (g *Registry) CancelAll() {
+	for _, r := range g.List() {
+		if !r.State().Terminal() {
+			r.Cancel()
+		}
+	}
+}
+
+// Wait blocks until every launched run has finished, or the timeout
+// elapses; it reports whether the registry fully drained.
+func (g *Registry) Wait(timeout time.Duration) bool {
+	done := make(chan struct{})
+	go func() {
+		g.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}
+
+// DaemonStatus is the registry's GET /status payload.
+type DaemonStatus struct {
+	// Runs holds every run's status, in launch order.
+	Runs []RunStatus `json:"runs"`
+	// ActiveRuns counts non-terminal runs; MaxRuns echoes the admission
+	// bound (0: unbounded).
+	ActiveRuns int `json:"active_runs"`
+	MaxRuns    int `json:"max_runs"`
+	// PoolCoresTotal/Used describe the shared core pool (total 0:
+	// unbounded, used then untracked).
+	PoolCoresTotal int `json:"pool_cores_total"`
+	PoolCoresUsed  int `json:"pool_cores_used"`
+}
+
+func (g *Registry) handleDaemonStatus(w http.ResponseWriter, _ *http.Request) {
+	runs := g.List()
+	ds := DaemonStatus{
+		Runs:           make([]RunStatus, 0, len(runs)),
+		MaxRuns:        g.maxRuns,
+		PoolCoresTotal: g.pool.Total(),
+		PoolCoresUsed:  g.pool.Used(),
+	}
+	for _, r := range runs {
+		st := r.fullStatus()
+		if !r.State().Terminal() {
+			ds.ActiveRuns++
+		}
+		ds.Runs = append(ds.Runs, st)
+	}
+	writeJSON(w, ds)
+}
+
+func (g *Registry) handleLaunch(w http.ResponseWriter, req *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(req.Body, 1<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	l, err := config.ParseLaunch(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	run, err := g.Launch(l)
+	switch {
+	case err == nil:
+	case errors.Is(err, pilot.ErrPoolExhausted), errors.Is(err, ErrMaxRuns):
+		httpError(w, http.StatusTooManyRequests, err.Error())
+		return
+	default:
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+	writeJSON(w, run.fullStatus())
+}
+
+func (g *Registry) handleList(w http.ResponseWriter, _ *http.Request) {
+	runs := g.List()
+	out := make([]RunStatus, 0, len(runs))
+	for _, r := range runs {
+		out = append(out, r.fullStatus())
+	}
+	writeJSON(w, out)
+}
+
+func (g *Registry) handleCancel(w http.ResponseWriter, req *http.Request) {
+	run, ok := g.Get(req.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such run")
+		return
+	}
+	run.Cancel()
+	w.WriteHeader(http.StatusAccepted)
+	writeJSON(w, run.fullStatus())
+}
+
+// perRun adapts one of the per-run Server handlers to a /runs/{id}/...
+// route.
+func (g *Registry) perRun(h func(*Server, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		run, ok := g.Get(req.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "no such run")
+			return
+		}
+		h(run.srv, w, req)
+	}
+}
+
+// handleAggregateMetrics renders every run's series into one scrape,
+// each line labelled run="<id>" so runs sharing a dimension layout
+// (identical dim/pair label sets) stay distinct after federation.
+func (g *Registry) handleAggregateMetrics(w http.ResponseWriter, _ *http.Request) {
+	runs := g.List()
+	var b strings.Builder
+	fmt.Fprintf(&b, "# HELP repexd_runs Registered runs by lifecycle state.\n# TYPE repexd_runs gauge\n")
+	counts := map[core.RunState]int{}
+	views := make([]runView, 0, len(runs))
+	for _, r := range runs {
+		counts[r.State()]++
+		views = append(views, r.view())
+	}
+	for st := core.RunPending; st <= core.RunCancelled; st++ {
+		fmt.Fprintf(&b, "repexd_runs{state=%q} %d\n", st.String(), counts[st])
+	}
+	fmt.Fprintf(&b, "# HELP repexd_pool_cores_total Shared core-pool capacity (0: unbounded).\n# TYPE repexd_pool_cores_total gauge\nrepexd_pool_cores_total %d\n", g.pool.Total())
+	fmt.Fprintf(&b, "# HELP repexd_pool_cores_used Cores admitted to active runs.\n# TYPE repexd_pool_cores_used gauge\nrepexd_pool_cores_used %d\n", g.pool.Used())
+	writeMetrics(&b, views)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// handleEvents streams the run's bus as server-sent events: one "md",
+// "exchange" or "fault" event per record, then a final "done" event
+// carrying the terminal state. The subscription ring is bounded, so a
+// slow client loses oldest events rather than slowing the run.
+func (g *Registry) handleEvents(w http.ResponseWriter, req *http.Request) {
+	run, ok := g.Get(req.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such run")
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	sub := run.bus.Subscribe(1 << 12)
+	defer run.bus.Unsubscribe(sub)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	ticker := time.NewTicker(25 * time.Millisecond)
+	defer ticker.Stop()
+	var buf []core.Event
+	flush := func() {
+		buf = sub.Drain(buf[:0])
+		for _, ev := range buf {
+			writeSSE(w, ev)
+		}
+		if len(buf) > 0 {
+			fl.Flush()
+		}
+	}
+	for {
+		flush()
+		select {
+		case <-req.Context().Done():
+			return
+		case <-run.done:
+			// The run published everything before done closed; one last
+			// drain completes the stream.
+			flush()
+			fmt.Fprintf(w, "event: done\ndata: {\"state\":%q}\n\n", run.State().String())
+			fl.Flush()
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// writeSSE renders one bus event as a server-sent event named by its
+// concrete type.
+func writeSSE(w io.Writer, ev core.Event) {
+	name := "event"
+	switch ev.(type) {
+	case core.MDEvent:
+		name = "md"
+	case core.ExchangeEvent:
+		name = "exchange"
+	case core.FaultEvent:
+		name = "fault"
+	}
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", name, data)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -37,10 +37,14 @@ import (
 
 // RunStatus is the /status payload.
 type RunStatus struct {
+	// ID is the registry-assigned run identifier; empty for the
+	// single-run server of cmd/repex.
+	ID      string `json:"id,omitempty"`
 	Name    string `json:"name"`
 	Engine  string `json:"engine"`
 	Trigger string `json:"trigger"`
-	// State is "pending", "running", "completed" or "failed".
+	// State is "pending", "running", "completed", "failed" or
+	// "cancelled" (core.RunState names).
 	State    string `json:"state"`
 	Replicas int    `json:"replicas"`
 	Cores    int    `json:"cores"`
@@ -74,9 +78,12 @@ type RunStatus struct {
 type Server struct {
 	col    *analysis.Collector
 	status func() RunStatus
-	mux    *http.ServeMux
-	lis    net.Listener
-	srv    *http.Server
+	// runLabel, when set, stamps every metric line with a run="<id>"
+	// label so scrapes from many runs can federate without colliding.
+	runLabel string
+	mux      *http.ServeMux
+	lis      net.Listener
+	srv      *http.Server
 }
 
 // New builds a server over a collector and a status source. Either may
@@ -92,6 +99,11 @@ func New(col *analysis.Collector, status func() RunStatus) *Server {
 
 // Handler exposes the route table (used by tests and embedders).
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// SetRunLabel makes every /metrics line carry run="<id>". The registry
+// sets it so per-run scrapes of runs sharing a dimension layout stay
+// distinguishable after federation.
+func (s *Server) SetRunLabel(id string) { s.runLabel = id }
 
 // Start listens on addr (host:port; port 0 picks a free one) and serves
 // in a background goroutine. It returns the bound address.
@@ -175,90 +187,161 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var b strings.Builder
 	stats := s.snapshot(false)
 	st := s.runStatusFrom(&stats)
+	writeMetrics(&b, []runView{{run: s.runLabel, stats: stats, st: st}})
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}
 
-	counter := func(name, help string, v uint64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
-	}
-	gauge := func(name, help string, v float64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
-			name, help, name, name, fmtFloat(v))
-	}
+// runView is one run's contribution to a metrics exposition: its
+// collector snapshot, its status, and the value of its run label
+// (empty on the single-run server, which keeps that output
+// byte-identical to the pre-registry format).
+type runView struct {
+	run   string
+	stats analysis.Stats
+	st    RunStatus
+}
 
-	running := 0.0
-	if st.State == "running" {
-		running = 1
+// lbl merges the view's run label with a family's own labels (base is
+// the rendered inner label list, e.g. `dim="0",pair="1"`, or empty).
+func (v runView) lbl(base string) string {
+	switch {
+	case v.run == "" && base == "":
+		return ""
+	case v.run == "":
+		return "{" + base + "}"
+	case base == "":
+		return fmt.Sprintf("{run=%q}", v.run)
+	default:
+		return fmt.Sprintf("{run=%q,%s}", v.run, base)
 	}
-	gauge("repex_running", "1 while the simulation is executing.", running)
-	gauge("repex_replicas", "Configured replica count.", float64(st.Replicas))
-	counter("repex_exchange_events_total", "Exchange events completed.", uint64(stats.Events))
-	counter("repex_md_segments_total", "MD segments finally processed.", uint64(stats.MDSegments))
-	counter("repex_md_failures_total", "MD segments that failed terminally.", uint64(stats.MDFailures))
+}
 
-	fmt.Fprintf(&b, "# HELP repex_fault_events_total Fault-handling actions by kind.\n")
-	fmt.Fprintf(&b, "# TYPE repex_fault_events_total counter\n")
-	kinds := make([]string, 0, len(st.Faults))
-	for k := range st.Faults {
-		kinds = append(kinds, k)
-	}
-	sort.Strings(kinds)
-	for _, k := range kinds {
-		fmt.Fprintf(&b, "repex_fault_events_total{kind=%q} %d\n", k, st.Faults[k])
-	}
-
-	fmt.Fprintf(&b, "# HELP repex_pair_attempts_total Exchange attempts per neighbour pair.\n")
-	fmt.Fprintf(&b, "# TYPE repex_pair_attempts_total counter\n")
-	for d, pairs := range stats.Acceptance {
-		for i, p := range pairs {
-			fmt.Fprintf(&b, "repex_pair_attempts_total{dim=\"%d\",pair=\"%d\"} %d\n", d, i, p.Attempted)
+// writeMetrics renders the Prometheus exposition of one or many runs.
+// The exposition format requires every line of a metric family to form
+// one group, so multi-run output interleaves runs within each family
+// (never family blocks per run) — the run label keeps series from runs
+// sharing a dimension layout distinct.
+func writeMetrics(b *strings.Builder, views []runView) {
+	counter := func(name, help string, v func(runView) uint64) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, vw := range views {
+			fmt.Fprintf(b, "%s%s %d\n", name, vw.lbl(""), v(vw))
 		}
 	}
-	fmt.Fprintf(&b, "# HELP repex_pair_accepts_total Accepted exchanges per neighbour pair.\n")
-	fmt.Fprintf(&b, "# TYPE repex_pair_accepts_total counter\n")
-	for d, pairs := range stats.Acceptance {
-		for i, p := range pairs {
-			fmt.Fprintf(&b, "repex_pair_accepts_total{dim=\"%d\",pair=\"%d\"} %d\n", d, i, p.Accepted)
+	gauge := func(name, help string, v func(runView) float64) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+		for _, vw := range views {
+			fmt.Fprintf(b, "%s%s %s\n", name, vw.lbl(""), fmtFloat(v(vw)))
 		}
 	}
-	fmt.Fprintf(&b, "# HELP repex_pair_acceptance_ratio Acceptance ratio per neighbour pair.\n")
-	fmt.Fprintf(&b, "# TYPE repex_pair_acceptance_ratio gauge\n")
-	for d, pairs := range stats.Acceptance {
-		for i, p := range pairs {
-			fmt.Fprintf(&b, "repex_pair_acceptance_ratio{dim=\"%d\",pair=\"%d\"} %s\n",
-				d, i, fmtFloat(p.Ratio()))
+	// family opens a HELP/TYPE block and lets the body emit labelled
+	// lines for every view.
+	family := func(name, help, typ string, emit func(vw runView)) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for _, vw := range views {
+			emit(vw)
 		}
 	}
 
-	fmt.Fprintf(&b, "# HELP repex_acceptance_ratio_window Acceptance ratio per neighbour pair over the last %d outcomes.\n", stats.WindowEvents)
-	fmt.Fprintf(&b, "# TYPE repex_acceptance_ratio_window gauge\n")
-	for d, pairs := range stats.AcceptanceWindow {
-		for i, p := range pairs {
-			// An empty window has no ratio: emitting 0 would trip
-			// low-acceptance alerts on pairs that merely lack data. The
-			// attempts gauge below conveys emptiness.
-			if p.Attempted == 0 {
-				continue
+	gauge("repex_running", "1 while the simulation is executing.", func(vw runView) float64 {
+		if vw.st.State == "running" {
+			return 1
+		}
+		return 0
+	})
+	gauge("repex_replicas", "Configured replica count.",
+		func(vw runView) float64 { return float64(vw.st.Replicas) })
+	counter("repex_exchange_events_total", "Exchange events completed.",
+		func(vw runView) uint64 { return uint64(vw.stats.Events) })
+	counter("repex_md_segments_total", "MD segments finally processed.",
+		func(vw runView) uint64 { return uint64(vw.stats.MDSegments) })
+	counter("repex_md_failures_total", "MD segments that failed terminally.",
+		func(vw runView) uint64 { return uint64(vw.stats.MDFailures) })
+
+	family("repex_fault_events_total", "Fault-handling actions by kind.", "counter", func(vw runView) {
+		kinds := make([]string, 0, len(vw.st.Faults))
+		for k := range vw.st.Faults {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		for _, k := range kinds {
+			fmt.Fprintf(b, "repex_fault_events_total%s %d\n", vw.lbl(fmt.Sprintf("kind=%q", k)), vw.st.Faults[k])
+		}
+	})
+
+	family("repex_pair_attempts_total", "Exchange attempts per neighbour pair.", "counter", func(vw runView) {
+		for d, pairs := range vw.stats.Acceptance {
+			for i, p := range pairs {
+				fmt.Fprintf(b, "repex_pair_attempts_total%s %d\n",
+					vw.lbl(fmt.Sprintf("dim=\"%d\",pair=\"%d\"", d, i)), p.Attempted)
 			}
-			fmt.Fprintf(&b, "repex_acceptance_ratio_window{dim=\"%d\",pair=\"%d\"} %s\n",
-				d, i, fmtFloat(p.Ratio()))
 		}
-	}
-	fmt.Fprintf(&b, "# HELP repex_acceptance_window_attempts Outcomes currently buffered in each pair's rolling window.\n")
-	fmt.Fprintf(&b, "# TYPE repex_acceptance_window_attempts gauge\n")
-	for d, pairs := range stats.AcceptanceWindow {
-		for i, p := range pairs {
-			fmt.Fprintf(&b, "repex_acceptance_window_attempts{dim=\"%d\",pair=\"%d\"} %d\n",
-				d, i, p.Attempted)
+	})
+	family("repex_pair_accepts_total", "Accepted exchanges per neighbour pair.", "counter", func(vw runView) {
+		for d, pairs := range vw.stats.Acceptance {
+			for i, p := range pairs {
+				fmt.Fprintf(b, "repex_pair_accepts_total%s %d\n",
+					vw.lbl(fmt.Sprintf("dim=\"%d\",pair=\"%d\"", d, i)), p.Accepted)
+			}
 		}
+	})
+	family("repex_pair_acceptance_ratio", "Acceptance ratio per neighbour pair.", "gauge", func(vw runView) {
+		for d, pairs := range vw.stats.Acceptance {
+			for i, p := range pairs {
+				fmt.Fprintf(b, "repex_pair_acceptance_ratio%s %s\n",
+					vw.lbl(fmt.Sprintf("dim=\"%d\",pair=\"%d\"", d, i)), fmtFloat(p.Ratio()))
+			}
+		}
+	})
+
+	// The single-run HELP embeds the run's configured window depth; an
+	// aggregate scrape spans runs with different depths, conveyed per
+	// run by repex_acceptance_window_events below.
+	windowHelp := "Acceptance ratio per neighbour pair over each run's rolling window (depth in repex_acceptance_window_events)."
+	if len(views) == 1 {
+		windowHelp = fmt.Sprintf("Acceptance ratio per neighbour pair over the last %d outcomes.", views[0].stats.WindowEvents)
 	}
+	family("repex_acceptance_ratio_window", windowHelp, "gauge", func(vw runView) {
+		for d, pairs := range vw.stats.AcceptanceWindow {
+			for i, p := range pairs {
+				// An empty window has no ratio: emitting 0 would trip
+				// low-acceptance alerts on pairs that merely lack data. The
+				// attempts gauge below conveys emptiness.
+				if p.Attempted == 0 {
+					continue
+				}
+				fmt.Fprintf(b, "repex_acceptance_ratio_window%s %s\n",
+					vw.lbl(fmt.Sprintf("dim=\"%d\",pair=\"%d\"", d, i)), fmtFloat(p.Ratio()))
+			}
+		}
+	})
+	family("repex_acceptance_window_attempts", "Outcomes currently buffered in each pair's rolling window.", "gauge", func(vw runView) {
+		for d, pairs := range vw.stats.AcceptanceWindow {
+			for i, p := range pairs {
+				fmt.Fprintf(b, "repex_acceptance_window_attempts%s %d\n",
+					vw.lbl(fmt.Sprintf("dim=\"%d\",pair=\"%d\"", d, i)), p.Attempted)
+			}
+		}
+	})
 	gauge("repex_acceptance_window_events", "Configured rolling-window depth per pair.",
-		float64(stats.WindowEvents))
+		func(vw runView) float64 { return float64(vw.stats.WindowEvents) })
 
-	if len(st.Feedback) > 0 {
+	anyFeedback := false
+	for _, vw := range views {
+		if len(vw.st.Feedback) > 0 {
+			anyFeedback = true
+			break
+		}
+	}
+	if anyFeedback {
 		feedbackGauge := func(name, help string, value func(core.FeedbackDimStatus) float64) {
-			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
-			for _, f := range st.Feedback {
-				fmt.Fprintf(&b, "%s{dim=\"%d\"} %s\n", name, f.Dim, fmtFloat(value(f)))
-			}
+			family(name, help, "gauge", func(vw runView) {
+				for _, f := range vw.st.Feedback {
+					fmt.Fprintf(b, "%s%s %s\n", name,
+						vw.lbl(fmt.Sprintf("dim=\"%d\"", f.Dim)), fmtFloat(value(f)))
+				}
+			})
 		}
 		feedbackGauge("repex_feedback_saturated",
 			"1 while the dimension's controller is pinned at a window clamp with the target unreachable (ladder-spacing diagnostic).",
@@ -282,38 +365,41 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 
 	counter("repex_round_trips_total", "Completed ladder round trips over all replicas.",
-		uint64(stats.RoundTrips))
+		func(vw runView) uint64 { return uint64(vw.stats.RoundTrips) })
 	gauge("repex_round_trip_events_mean", "Mean round-trip duration in exchange events.",
-		stats.MeanRoundTripEvents)
+		func(vw runView) float64 { return vw.stats.MeanRoundTripEvents })
 	gauge("repex_full_traversal_fraction",
 		"Fraction of replicas that visited both ladder endpoints.",
-		stats.FullTraversalFraction)
+		func(vw runView) float64 { return vw.stats.FullTraversalFraction })
 
-	histogram(&b, "repex_md_exec_seconds", "MD segment execution time.", stats.MDExec)
-	histogram(&b, "repex_exchange_wall_seconds", "Exchange phase wall time.", stats.ExchangeOverhead)
+	histogram(b, "repex_md_exec_seconds", "MD segment execution time.", views,
+		func(vw runView) analysis.Histogram { return vw.stats.MDExec })
+	histogram(b, "repex_exchange_wall_seconds", "Exchange phase wall time.", views,
+		func(vw runView) analysis.Histogram { return vw.stats.ExchangeOverhead })
 
-	counter("repex_bus_published_total", "Events published on the bus.", st.BusPublished)
+	counter("repex_bus_published_total", "Events published on the bus.",
+		func(vw runView) uint64 { return vw.st.BusPublished })
 	counter("repex_bus_dropped_total", "Events the collector lost to ring overflow.",
-		stats.BusDropped)
-
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	_, _ = w.Write([]byte(b.String()))
+		func(vw runView) uint64 { return vw.stats.BusDropped })
 }
 
-// histogram renders one Prometheus histogram: cumulative buckets with an
-// le label, then _sum and _count.
-func histogram(b *strings.Builder, name, help string, h analysis.Histogram) {
+// histogram renders one Prometheus histogram family: per view, the
+// cumulative buckets with an le label, then _sum and _count.
+func histogram(b *strings.Builder, name, help string, views []runView, h func(runView) analysis.Histogram) {
 	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
-	cum := uint64(0)
-	for i, bound := range h.Bounds {
-		if i < len(h.Counts) {
-			cum += h.Counts[i]
+	for _, vw := range views {
+		hist := h(vw)
+		cum := uint64(0)
+		for i, bound := range hist.Bounds {
+			if i < len(hist.Counts) {
+				cum += hist.Counts[i]
+			}
+			fmt.Fprintf(b, "%s_bucket%s %d\n", name, vw.lbl(fmt.Sprintf("le=%q", fmtFloat(bound))), cum)
 		}
-		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, fmtFloat(bound), cum)
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, vw.lbl(`le="+Inf"`), hist.Count)
+		fmt.Fprintf(b, "%s_sum%s %s\n", name, vw.lbl(""), fmtFloat(hist.Sum))
+		fmt.Fprintf(b, "%s_count%s %d\n", name, vw.lbl(""), hist.Count)
 	}
-	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
-	fmt.Fprintf(b, "%s_sum %s\n", name, fmtFloat(h.Sum))
-	fmt.Fprintf(b, "%s_count %d\n", name, h.Count)
 }
 
 func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
