@@ -22,6 +22,7 @@ import (
 	"repro/internal/md"
 	"repro/internal/pilot"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 func BenchmarkFig04Validation(b *testing.B) {
@@ -409,6 +410,51 @@ func BenchmarkDispatcherBus(b *testing.B) {
 			}
 			if dropped == 0 {
 				b.Fatal("stalled subscriber dropped nothing: the non-blocking path was not exercised")
+			}
+			if completions > 0 {
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(completions), "ns/completion")
+			}
+		})
+	}
+}
+
+// BenchmarkDispatcherTrace measures the same per-completion dispatcher
+// cost with the flight recorder attached on top of the full
+// BenchmarkDispatcherBus observability stack (bus, collector, stalled
+// subscriber). The delta against BenchmarkDispatcherBus's legs is the
+// recorder overhead; the ratio gate in BENCH_baseline.json holds it
+// below 5% per completion.
+func BenchmarkDispatcherTrace(b *testing.B) {
+	for _, replicas := range []int{64, 256} {
+		b.Run(itoa(replicas)+"/window", func(b *testing.B) {
+			completions := 0
+			// One ring for the whole leg, as in a real run (a run
+			// allocates its recorder once); the loop measures the
+			// per-span recording cost, not ring construction.
+			rec := trace.New(1 << 15)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				spec := ablationSpec(replicas, 2, PatternAsynchronous, 100)
+				spec.Trigger = NewWindowTrigger(100, 0)
+				spec.Bus = NewBus()
+				spec.Tracer = rec
+				col := analysis.New(analysis.ConfigFromSpec(spec))
+				col.Attach(spec.Bus, 1<<12)
+				cfg := SuperMIC()
+				cfg.ExecJitter = 0.05
+				rep, err := RunVirtual(spec, cfg, replicas, AmberSander, 2881, int64(i+1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.ExchangeEvents == 0 {
+					b.Fatal("no exchange events fired")
+				}
+				for _, r := range rep.Records {
+					completions += r.MD.Tasks
+				}
+			}
+			if rec.Recorded() == 0 {
+				b.Fatal("flight recorder recorded nothing: the traced path was not exercised")
 			}
 			if completions > 0 {
 				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(completions), "ns/completion")

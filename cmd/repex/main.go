@@ -39,9 +39,21 @@
 //
 // Observability: -listen HOST:PORT (or a "serve": {"listen": ...} block
 // in the simulation file) starts the live HTTP status server with
-// GET /status, /stats and /metrics (Prometheus text format). With a
-// listener active the process keeps serving after the run completes
-// until interrupted, so the final statistics remain scrapeable.
+// GET /status, /stats, /metrics (Prometheus text format), /healthz and
+// /trace. With a listener active the process keeps serving after the
+// run completes until interrupted, so the final statistics remain
+// scrapeable. A "serve": {"pprof": true} block additionally mounts
+// net/http/pprof under /debug/pprof/ (off by default — see
+// docs/observability.md for the security note).
+//
+// Tracing: -trace FILE attaches the bounded flight recorder and writes
+// the run's span timeline as Chrome trace-event JSON at exit; load the
+// file in Perfetto (https://ui.perfetto.dev) or chrome://tracing. With
+// -listen the recorder is attached too and served live at GET /trace.
+//
+// Diagnostics go to stderr as structured key=value lines; -log-level
+// (debug, info, warn, error) sets the threshold. The human-readable
+// run report stays on stdout.
 package main
 
 import (
@@ -49,6 +61,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"sync/atomic"
@@ -61,6 +74,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engines"
 	"repro/internal/serve"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -73,24 +87,42 @@ func main() {
 	trigger := flag.String("trigger", "", "exchange-trigger policy override: barrier, window, count, adaptive or feedback")
 	targetAcc := flag.String("target-acceptance", "", "feedback trigger acceptance set point: a scalar in (0,1) or a per-dimension JSON map like '{\"T\":0.4,\"U\":0.25}'; empty keeps the sim file's value (requires the feedback trigger)")
 	windowEvents := flag.Int("window-events", 0, "rolling-window depth for pair statistics and the feedback trigger (overrides the sim file)")
+	tracePath := flag.String("trace", "", "write the flight recorder's span timeline as Chrome trace-event JSON to this file at exit")
+	logLevel := flag.String("log-level", "info", "stderr log threshold: debug, info, warn or error")
 	flag.Parse()
 	if *simPath == "" || *resPath == "" {
 		flag.Usage()
+		os.Exit(2)
+	}
+	if err := setupLogging(*logLevel); err != nil {
+		fmt.Fprintln(os.Stderr, "repex:", err)
 		os.Exit(2)
 	}
 	ov := overrides{trigger: *trigger, windowEvents: *windowEvents}
 	if *targetAcc != "" {
 		ta, err := parseTargetAcceptance(*targetAcc)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "repex:", err)
+			slog.Error("invalid flag", "error", err)
 			os.Exit(2)
 		}
 		ov.targetAcceptance = &ta
 	}
-	if err := run(*simPath, *resPath, *resumePath, *ckptPath, *ckptEvery, *listen, ov); err != nil {
-		fmt.Fprintln(os.Stderr, "repex:", err)
+	if err := run(*simPath, *resPath, *resumePath, *ckptPath, *ckptEvery, *listen, *tracePath, ov); err != nil {
+		slog.Error("run failed", "error", err)
 		os.Exit(1)
 	}
+}
+
+// setupLogging installs the process-wide structured logger: key=value
+// text lines on stderr, filtered at the given level.
+func setupLogging(level string) error {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return fmt.Errorf("-log-level %q: want debug, info, warn or error", level)
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr,
+		&slog.HandlerOptions{Level: lv})))
+	return nil
 }
 
 // overrides are the command-line knobs that take precedence over the
@@ -118,7 +150,7 @@ func parseTargetAcceptance(arg string) (config.TargetAcceptance, error) {
 	return ta, nil
 }
 
-func run(simPath, resPath, resumePath, ckptPath string, ckptEvery int, listen string, ov overrides) error {
+func run(simPath, resPath, resumePath, ckptPath string, ckptEvery int, listen, tracePath string, ov overrides) error {
 	simData, err := os.ReadFile(simPath)
 	if err != nil {
 		return err
@@ -171,7 +203,31 @@ func run(simPath, resPath, resumePath, ckptPath string, ckptEvery int, listen st
 	// trigger is rejected outright by the config layer).
 	if simFile.WindowEvents != 0 && spec.TriggerName() != "feedback" &&
 		listen == "" && ckptPath == "" {
-		fmt.Fprintln(os.Stderr, "repex: warning: window_events is set but nothing consumes it (no feedback trigger, no -listen, no -checkpoint)")
+		slog.Warn("window_events is set but nothing consumes it (no feedback trigger, no -listen, no -checkpoint)")
+	}
+
+	// The flight recorder rides along whenever someone can read it: the
+	// -trace file at exit, or GET /trace on the live server. Recording
+	// is bounded and touches neither the RNG nor the virtual clock, so
+	// the traced run is bit-identical to an untraced one.
+	var tracer *trace.Recorder
+	if tracePath != "" || listen != "" {
+		tracer = trace.New(0)
+		spec.Tracer = tracer
+	}
+	if tracePath != "" {
+		defer func() {
+			data, err := tracer.ExportJSON()
+			if err == nil {
+				err = ckpt.WriteAtomic(tracePath, data)
+			}
+			if err != nil {
+				slog.Error("writing trace", "path", tracePath, "error", err)
+				return
+			}
+			slog.Info("trace written", "path", tracePath,
+				"spans", tracer.Recorded(), "dropped", tracer.Dropped())
+		}()
 	}
 
 	// The event bus and collector power both the live endpoints and the
@@ -196,7 +252,7 @@ func run(simPath, resPath, resumePath, ckptPath string, ckptEvery int, listen st
 				if err := col.SeedResume(spec.Resume); err != nil {
 					return fmt.Errorf("resume checkpoint %s: %v", resumePath, err)
 				}
-				fmt.Fprintln(os.Stderr, "repex: checkpoint carries no analysis state; statistics cover the resumed portion only")
+				slog.Warn("checkpoint carries no analysis state; statistics cover the resumed portion only")
 			}
 		}
 	}
@@ -231,11 +287,15 @@ func run(simPath, resPath, resumePath, ckptPath string, ckptEvery int, listen st
 			}
 			return st
 		})
+		server.SetTracer(tracer)
+		if simFile.Serve != nil && simFile.Serve.Pprof {
+			server.EnablePprof()
+		}
 		addr, err := server.Start(listen)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("status server listening on http://%s (/status /stats /metrics)\n", addr)
+		fmt.Printf("status server listening on http://%s (/status /stats /metrics /healthz /trace)\n", addr)
 	}
 
 	if ckptPath != "" {
@@ -248,16 +308,16 @@ func run(simPath, resPath, resumePath, ckptPath string, ckptEvery int, listen st
 				if data, err := col.EncodeState(); err == nil {
 					sn.Analysis = data
 				} else {
-					fmt.Fprintln(os.Stderr, "repex: encoding analysis state:", err)
+					slog.Error("encoding analysis state", "error", err)
 				}
 			}
 			data, err := sn.Encode()
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "repex: encoding checkpoint:", err)
+				slog.Error("encoding checkpoint", "error", err)
 				return
 			}
 			if err := ckpt.WriteAtomic(ckptPath, data); err != nil {
-				fmt.Fprintln(os.Stderr, "repex: writing checkpoint:", err)
+				slog.Error("writing checkpoint", "path", ckptPath, "error", err)
 			}
 		}
 	}
@@ -332,8 +392,8 @@ func run(simPath, resPath, resumePath, ckptPath string, ckptEvery int, listen st
 				d, stats.WindowEvents, 100*analysis.WeightedRatio(pairs))
 		}
 		if stats.BusDropped > 0 {
-			fmt.Fprintf(os.Stderr, "repex: warning: collector lost %d events to ring overflow; statistics are partial\n",
-				stats.BusDropped)
+			slog.Warn("collector lost events to ring overflow; statistics are partial",
+				"dropped", stats.BusDropped)
 		}
 	}
 	if feedback != nil {

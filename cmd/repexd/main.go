@@ -7,7 +7,7 @@
 // Usage:
 //
 //	repexd [-config daemon.json] [-listen HOST:PORT]
-//	       [-total-cores N] [-max-runs N]
+//	       [-total-cores N] [-max-runs N] [-log-level LEVEL]
 //
 // The optional config file follows internal/config.Daemon; flags
 // override it. Endpoints (see docs/repexd.md):
@@ -16,21 +16,29 @@
 //	GET    /runs              list run statuses
 //	GET    /runs/{id}         one run's status
 //	DELETE /runs/{id}         cancel at the next exchange boundary
-//	GET    /runs/{id}/status  (also /stats, /metrics, /events)
+//	GET    /runs/{id}/status  (also /stats, /metrics, /trace, /events)
 //	GET    /metrics           aggregate Prometheus scrape, run-labelled
 //	GET    /status            daemon status (runs, pool)
-//	GET    /healthz           liveness probe
+//	GET    /healthz           liveness probe with a run-state summary
+//
+// Every run gets its own bounded flight recorder ("trace_events" in the
+// config sets its depth), served as Chrome trace-event JSON at
+// GET /runs/{id}/trace. A "pprof": true config key mounts
+// net/http/pprof under /debug/pprof/ — off by default; see
+// docs/observability.md for the security note.
 //
 // A resume launch is a POST /runs whose body names a snapshot file in
 // "resume"; checkpoints are written atomically to the "checkpoint"
 // path. On SIGINT/SIGTERM the daemon cancels every active run and
 // waits up to drain_timeout_sec for final snapshots before exiting.
+// Diagnostics go to stderr as structured key=value lines; -log-level
+// (debug, info, warn, error) sets the threshold.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -47,11 +55,28 @@ func main() {
 	listen := flag.String("listen", "", "host:port to bind (overrides the config file)")
 	totalCores := flag.Int("total-cores", -1, "shared core-pool capacity, 0 unbounded (overrides the config file)")
 	maxRuns := flag.Int("max-runs", -1, "concurrently active run bound, 0 unbounded (overrides the config file)")
+	logLevel := flag.String("log-level", "info", "stderr log threshold: debug, info, warn or error")
 	flag.Parse()
-	if err := run(*cfgPath, *listen, *totalCores, *maxRuns); err != nil {
+	if err := setupLogging(*logLevel); err != nil {
 		fmt.Fprintln(os.Stderr, "repexd:", err)
+		os.Exit(2)
+	}
+	if err := run(*cfgPath, *listen, *totalCores, *maxRuns); err != nil {
+		slog.Error("daemon failed", "error", err)
 		os.Exit(1)
 	}
+}
+
+// setupLogging installs the process-wide structured logger: key=value
+// text lines on stderr, filtered at the given level.
+func setupLogging(level string) error {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return fmt.Errorf("-log-level %q: want debug, info, warn or error", level)
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr,
+		&slog.HandlerOptions{Level: lv})))
+	return nil
 }
 
 func run(cfgPath, listen string, totalCores, maxRuns int) error {
@@ -80,6 +105,12 @@ func run(cfgPath, listen string, totalCores, maxRuns int) error {
 	}
 
 	reg := serve.NewRegistry(d.TotalCores, d.MaxRuns)
+	reg.SetLogger(slog.Default())
+	reg.SetTraceEvents(d.TraceEvents)
+	if d.Pprof {
+		reg.EnablePprof()
+		slog.Warn("pprof endpoints enabled under /debug/pprof/; keep the listener trusted")
+	}
 	lis, err := net.Listen("tcp", d.Listen)
 	if err != nil {
 		return err
@@ -91,7 +122,8 @@ func run(cfgPath, listen string, totalCores, maxRuns int) error {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(lis) }()
-	log.Printf("repexd: listening on http://%s (POST /runs to launch)", lis.Addr())
+	slog.Info("listening", "addr", fmt.Sprintf("http://%s", lis.Addr()),
+		"total_cores", d.TotalCores, "max_runs", d.MaxRuns)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -102,14 +134,14 @@ func run(cfgPath, listen string, totalCores, maxRuns int) error {
 		// Graceful drain: stop accepting work, cancel every active run
 		// (each writes its final boundary snapshot if configured) and
 		// bound the wait so a wedged run cannot block shutdown forever.
-		log.Printf("repexd: %s: draining runs", s)
+		slog.Info("draining runs", "signal", s.String())
 		_ = srv.Close()
 		reg.CancelAll()
 		timeout := time.Duration(d.DrainTimeoutSec * float64(time.Second))
 		if !reg.Wait(timeout) {
 			return fmt.Errorf("drain timed out after %s with runs still active", timeout)
 		}
-		log.Printf("repexd: drained")
+		slog.Info("drained")
 	}
 	return nil
 }

@@ -112,6 +112,11 @@ type Serve struct {
 	// Listen is the host:port to bind (e.g. "127.0.0.1:8080"; port 0
 	// picks a free port).
 	Listen string `json:"listen"`
+	// Pprof mounts net/http/pprof under /debug/pprof/ on the
+	// observability server when true. Off by default: profile endpoints
+	// are CPU-heavy to collect and expose binary layout, so enable them
+	// only on trusted listeners.
+	Pprof bool `json:"pprof,omitempty"`
 }
 
 // Dim is one exchange dimension. Either Values is given explicitly, or

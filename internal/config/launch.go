@@ -74,6 +74,15 @@ type Daemon struct {
 	// that have not reached a terminal state by then are abandoned.
 	// 0 selects the default 30 s.
 	DrainTimeoutSec float64 `json:"drain_timeout_sec,omitempty"`
+	// TraceEvents is the per-run flight-recorder capacity in spans:
+	// every launched run records its most recent TraceEvents spans,
+	// served as Chrome trace-event JSON at GET /runs/{id}/trace. 0
+	// selects the recorder's default depth.
+	TraceEvents int `json:"trace_events,omitempty"`
+	// Pprof mounts net/http/pprof under /debug/pprof/ when true. Off by
+	// default: profile endpoints are CPU-heavy to collect and expose
+	// binary layout, so enable them only on trusted listeners.
+	Pprof bool `json:"pprof,omitempty"`
 }
 
 // ParseDaemon decodes and validates a daemon config file.
@@ -104,6 +113,9 @@ func (d *Daemon) Normalize() error {
 	}
 	if d.DrainTimeoutSec == 0 {
 		d.DrainTimeoutSec = 30
+	}
+	if d.TraceEvents < 0 {
+		return fmt.Errorf("config: trace_events must be non-negative")
 	}
 	return nil
 }

@@ -39,6 +39,10 @@ type mdFlight struct {
 	// of this segment; unlike Replica.Retries it is per-segment and does
 	// not consume the replica's fault budget.
 	infra int
+	// rel counts replica-failure relaunches of this segment, so the
+	// segment's trace span can report how many retries it absorbed
+	// (infra + rel) without decoding the replica's lifetime budget.
+	rel int
 }
 
 // dispatch runs the simulation to completion under the given trigger
@@ -69,6 +73,10 @@ func (s *Simulation) dispatch(ctx context.Context, tr Trigger) error {
 	// latency — submission to final completion, including relaunch
 	// retries — rather than the raw per-attempt exec time Observe sees.
 	latObs, _ := tr.(LatencyObserver)
+	// Feedback policies get a controller-decision span after each fire:
+	// publishExchange feeds ObserveExchange synchronously, so the fired
+	// dimension's control step has already run when the span is recorded.
+	fbTr, _ := tr.(*FeedbackTrigger)
 	// Queued bus events are flushed once per dispatcher wakeup; the
 	// deferred flush covers error returns mid-round.
 	defer s.flushBus()
@@ -192,6 +200,7 @@ func (s *Simulation) dispatch(ctx context.Context, tr Trigger) error {
 			kind, retries = FaultKindResourceLost, f.infra
 		case spec.FaultPolicy == FaultRelaunch && f.r.Retries < spec.MaxRetries:
 			f.r.Retries++
+			f.rel++
 			kind, retries = FaultKindRelaunch, f.r.Retries
 		default:
 			return false
@@ -199,6 +208,7 @@ func (s *Simulation) dispatch(ctx context.Context, tr Trigger) error {
 		s.report.Relaunches++
 		s.publish(FaultEvent{At: s.rt.Now(), Replica: f.r.ID,
 			Kind: kind, Retries: retries, Exec: res.Exec})
+		s.recordFault(f.r.ID, kind, retries)
 		// The failed attempt is charged to the round it happened in.
 		mdAccum.absorb(res)
 		s.report.MDExecCoreSeconds += res.Exec * float64(res.Spec.Cores)
@@ -227,6 +237,7 @@ func (s *Simulation) dispatch(ctx context.Context, tr Trigger) error {
 				s.report.CancelledUnits++
 				s.publish(FaultEvent{At: s.rt.Now(), Replica: f.r.ID,
 					Kind: FaultKindCancelled})
+				s.recordFault(f.r.ID, FaultKindCancelled, 0)
 				freeFlight(f)
 			}
 		}
@@ -239,6 +250,7 @@ func (s *Simulation) dispatch(ctx context.Context, tr Trigger) error {
 		}
 		if s.spec.OnSnapshot != nil {
 			s.spec.OnSnapshot(sn)
+			s.recordCheckpoint(event, "cancel")
 		}
 		return fmt.Errorf("core: %w at exchange event %d", ErrRunCancelled, event)
 	}
@@ -291,6 +303,7 @@ func (s *Simulation) dispatch(ctx context.Context, tr Trigger) error {
 					continue
 				}
 				absorb(f.r, res, &mdAccum)
+				s.recordMD(f, res)
 				if f.r.Alive {
 					ready = append(ready, f.r)
 					if f.r.Cycle < segBudget {
@@ -315,7 +328,9 @@ func (s *Simulation) dispatch(ctx context.Context, tr Trigger) error {
 				mdAccum = PhaseRecord{}
 				prep = 0
 				for _, f := range batch {
-					absorb(f.r, f.h.Result(), &rec.MD)
+					res := f.h.Result()
+					absorb(f.r, res, &rec.MD)
+					s.recordMD(f, res)
 					freeFlight(f)
 				}
 				batch = batch[:0]
@@ -325,12 +340,14 @@ func (s *Simulation) dispatch(ctx context.Context, tr Trigger) error {
 					exStart := s.rt.Now()
 					s.exchangePhase(s.aliveReplicas(), dim, cycle, &rec)
 					rec.EX.Wall = s.rt.Now() - exStart
+					s.recordExchange(event, dim, exStart, &rec)
 				}
 				rec.Wall = s.rt.Now() - roundT0
 				s.report.Records = append(s.report.Records, rec)
 				s.report.ExchangeEvents++
 				s.snapshotSlots()
 				s.publishExchange(event, cycle, dim, &rec)
+				s.recordController(fbTr, dim, event)
 				if alive < 2 {
 					return fmt.Errorf("core: fewer than two replicas alive after cycle %d", cycle)
 				}
@@ -348,6 +365,7 @@ func (s *Simulation) dispatch(ctx context.Context, tr Trigger) error {
 				exStart := s.rt.Now()
 				if !spec.DisableExchange {
 					s.exchangePhase(ready, dim, event, &rec)
+					s.recordExchange(event, dim, exStart, &rec)
 				}
 				rec.EX.Wall = s.rt.Now() - exStart
 				rec.Wall = rec.EX.Wall
@@ -355,6 +373,7 @@ func (s *Simulation) dispatch(ctx context.Context, tr Trigger) error {
 				s.report.ExchangeEvents++
 				s.snapshotSlots()
 				s.publishExchange(event, event, dim, &rec)
+				s.recordController(fbTr, dim, event)
 				event++
 				dim = event % ndims
 			}
@@ -451,6 +470,7 @@ func (s *Simulation) exchangePhase(participants []*Replica, d, sweep int, rec *C
 	// Single-point energy tasks (salt exchange): one per replica, wide
 	// as its group, doubling the task count — the paper's stated cause
 	// of S-REMD's exchange cost.
+	speStart := s.rt.Now()
 	spe := s.speScratch[:0]
 	for gi := 0; gi < nGroups; gi++ {
 		for _, spec := range s.engine.SinglePointTasks(d, members[off[gi]:off[gi+1]], s.spec) {
@@ -462,6 +482,7 @@ func (s *Simulation) exchangePhase(participants []*Replica, d, sweep int, rec *C
 		for _, res := range s.rt.AwaitAll(spe) {
 			rec.EX.absorb(res)
 		}
+		s.recordSPE(d, sweep, len(spe), speStart)
 	}
 
 	// The exchange-computation task itself (partner determination).
@@ -481,6 +502,9 @@ func (s *Simulation) exchangePhase(participants []*Replica, d, sweep int, rec *C
 		pairs = exchange.AppendNeighborPairs(pairs, ids[off[gi]:off[gi+1]], sweep)
 	}
 	s.exPairs = pairs
+
+	pairStart := s.rt.Now()
+	a0 := rec.Accepted
 
 	// Pre-draw one uniform per pair serially, in pair order: the RNG
 	// stream is independent of the worker count, which is what keeps the
@@ -520,4 +544,5 @@ func (s *Simulation) exchangePhase(participants []*Replica, d, sweep int, rec *C
 			s.applySwap(s.replicas[pr.I], s.replicas[pr.J])
 		}
 	}
+	s.recordPairs(d, sweep, len(pairs), rec.Accepted-a0, pairStart)
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/exchange"
 	"repro/internal/md"
 	"repro/internal/task"
+	"repro/internal/trace"
 )
 
 // Simulation is a configured REMD run: the EMM of the paper's module
@@ -66,6 +67,9 @@ type Simulation struct {
 	// busBatch accumulates a collection round's bus events for one
 	// batched Bus.PublishBatch call per dispatcher wakeup.
 	busBatch []Event
+	// tracer is the optional flight recorder (Spec.Tracer); the
+	// record* helpers in tracer.go no-op while it is nil.
+	tracer *trace.Recorder
 
 	// resumeEvents is the exchange-event counter restored from
 	// Spec.Resume (0 for a fresh run); resumeElapsed is the virtual run
@@ -102,6 +106,7 @@ func New(spec *Spec, engine Engine, rt task.Runtime) (*Simulation, error) {
 		replicaAt:  make([]int, n),
 		slotParams: make([]md.Params, n),
 		rng:        rand.New(rand.NewSource(spec.Seed)),
+		tracer:     spec.Tracer,
 	}
 	for slot := 0; slot < n; slot++ {
 		s.slotParams[slot] = s.paramsForSlot(slot)
@@ -212,6 +217,7 @@ func (s *Simulation) finishMD(r *Replica, res task.Result, phase *PhaseRecord) {
 			Exec: res.Exec, Failed: true})
 		s.publish(FaultEvent{At: s.rt.Now(), Replica: r.ID,
 			Kind: FaultKindDrop, Retries: r.Retries})
+		s.recordFault(r.ID, FaultKindDrop, r.Retries)
 		return
 	}
 	r.Cycle++

@@ -172,6 +172,7 @@ func (s *Simulation) maybeSnapshot(tr Trigger, events int) error {
 		return err
 	}
 	s.spec.OnSnapshot(sn)
+	s.recordCheckpoint(events, "")
 	return nil
 }
 

@@ -806,23 +806,41 @@ func (t *FeedbackTrigger) ControllerStatus() []FeedbackDimStatus {
 	defer t.mu.Unlock()
 	out := make([]FeedbackDimStatus, len(t.dims))
 	for d := range t.dims {
-		dd := &t.dims[d]
-		st := FeedbackDimStatus{
-			Dim:       d,
-			Target:    t.target(d),
-			Outcomes:  dd.win.N,
-			Window:    t.windowFor(d),
-			MinReady:  dd.effectiveMinReady(t.MinReady),
-			Integral:  dd.integ,
-			Active:    dd.active,
-			Saturated: dd.saturated,
-		}
-		if dd.win.N > 0 {
-			st.Measured = float64(dd.win.Accepted) / float64(dd.win.N)
-		}
-		out[d] = st
+		out[d] = t.dimStatus(d)
 	}
 	return out
+}
+
+// DimStatus snapshots one dimension's controller state; dimensions the
+// controller has not observed yet report a zero status. Safe for
+// concurrent use like ControllerStatus.
+func (t *FeedbackTrigger) DimStatus(d int) FeedbackDimStatus {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if d < 0 || d >= len(t.dims) {
+		return FeedbackDimStatus{Dim: d}
+	}
+	return t.dimStatus(d)
+}
+
+// dimStatus builds dimension d's status with mu held; d must be in
+// range.
+func (t *FeedbackTrigger) dimStatus(d int) FeedbackDimStatus {
+	dd := &t.dims[d]
+	st := FeedbackDimStatus{
+		Dim:       d,
+		Target:    t.target(d),
+		Outcomes:  dd.win.N,
+		Window:    t.windowFor(d),
+		MinReady:  dd.effectiveMinReady(t.MinReady),
+		Integral:  dd.integ,
+		Active:    dd.active,
+		Saturated: dd.saturated,
+	}
+	if dd.win.N > 0 {
+		st.Measured = float64(dd.win.Accepted) / float64(dd.win.N)
+	}
+	return st
 }
 
 // target resolves dimension d's set point: the per-dimension override

@@ -30,6 +30,7 @@ import (
 	"repro/internal/exchange"
 	"repro/internal/md"
 	"repro/internal/task"
+	"repro/internal/trace"
 )
 
 // Pattern is a Replica Exchange Pattern (paper §3.2.1). A pattern is an
@@ -206,6 +207,15 @@ type Spec struct {
 	// non-blocking — a slow or stalled subscriber never affects the
 	// dispatcher — so attaching a bus cannot change simulation results.
 	Bus *Bus
+	// Tracer, when non-nil, receives one flight-recorder span per MD
+	// segment (submission to final completion, spanning relaunches),
+	// exchange phase (with pair-eval and single-point sub-spans),
+	// checkpoint write, feedback-controller decision and fault action.
+	// Recording is bounded (fixed ring, drop-oldest) and touches
+	// neither the RNG stream nor the virtual clock, so an attached
+	// tracer cannot change simulation results — the slot history is
+	// bit-identical with and without it (test-enforced).
+	Tracer *trace.Recorder
 	// ExchangeWorkers bounds the worker pool that shards each exchange
 	// event's pair evaluation (the Metropolis acceptance-probability
 	// math). 0, the default, uses GOMAXPROCS with a work-size gate so

@@ -118,7 +118,11 @@ func (m *MultiRuntime) Submit(s *task.Spec) task.Handle {
 	}
 	m.routed[best]++
 	m.assignedCores[best] += s.Cores
-	return m.pilots[best].SubmitUnit(s)
+	u := m.pilots[best].SubmitUnit(s)
+	// Stamp the routing decision for the flight recorder (race-free:
+	// the unit's process starts only after the orchestrator yields).
+	u.res.Pilot = best
+	return u
 }
 
 // Relaunched reports how many replacement pilots failover has launched.

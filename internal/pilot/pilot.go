@@ -484,10 +484,15 @@ func (r *Runtime) Now() float64 { return r.proc.Now() }
 func (r *Runtime) Cores() int { return r.pl.Cores() }
 
 // Submit schedules a unit (on a fresh pilot if the current one expired
-// and failover is configured).
+// and failover is configured). The unit's result is stamped with the
+// failover generation so traces can show which pilot incarnation ran
+// it; the write is race-free because spawned unit processes only start
+// once the orchestrator yields to the virtual-time kernel.
 func (r *Runtime) Submit(s *task.Spec) task.Handle {
 	r.ensurePilot()
-	return r.pl.SubmitUnit(s)
+	u := r.pl.SubmitUnit(s)
+	u.res.Pilot = r.relaunched
+	return u
 }
 
 // SubmitWatched schedules a unit and registers it on the completion
@@ -495,6 +500,7 @@ func (r *Runtime) Submit(s *task.Spec) task.Handle {
 func (r *Runtime) SubmitWatched(s *task.Spec) task.Handle {
 	r.ensurePilot()
 	u := r.pl.SubmitUnit(s)
+	u.res.Pilot = r.relaunched
 	r.stream.watch(u)
 	return u
 }

@@ -6,7 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engines"
 	"repro/internal/pilot"
+	"repro/internal/trace"
 )
 
 // ErrMaxRuns rejects a launch while the configured number of active
@@ -140,6 +141,11 @@ func (r *Run) finish(report *core.Report, err error) {
 type Registry struct {
 	pool    *pilot.Pool
 	maxRuns int
+	// traceEvents is the per-run flight-recorder capacity (0: the
+	// recorder default). Every run gets its own recorder, so
+	// /runs/{id}/trace is always servable.
+	traceEvents int
+	log         *slog.Logger
 
 	mu     sync.Mutex
 	runs   map[string]*Run
@@ -156,6 +162,7 @@ func NewRegistry(totalCores, maxRuns int) *Registry {
 	g := &Registry{
 		pool:    pilot.NewPool(totalCores),
 		maxRuns: maxRuns,
+		log:     slog.Default(),
 		runs:    map[string]*Run{},
 		mux:     http.NewServeMux(),
 	}
@@ -166,18 +173,53 @@ func NewRegistry(totalCores, maxRuns int) *Registry {
 	g.mux.HandleFunc("GET /runs/{id}/status", g.perRun((*Server).handleStatus))
 	g.mux.HandleFunc("GET /runs/{id}/stats", g.perRun((*Server).handleStats))
 	g.mux.HandleFunc("GET /runs/{id}/metrics", g.perRun((*Server).handleMetrics))
+	g.mux.HandleFunc("GET /runs/{id}/trace", g.perRun((*Server).handleTrace))
 	g.mux.HandleFunc("GET /runs/{id}/events", g.handleEvents)
 	g.mux.HandleFunc("GET /metrics", g.handleAggregateMetrics)
 	g.mux.HandleFunc("GET /status", g.handleDaemonStatus)
-	g.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
+	g.mux.HandleFunc("GET /healthz", g.handleHealthz)
 	return g
 }
 
 // Handler exposes the registry's route table.
 func (g *Registry) Handler() http.Handler { return g.mux }
+
+// SetTraceEvents sets the flight-recorder capacity future launches
+// attach per run (0 keeps the recorder default). Call before serving.
+func (g *Registry) SetTraceEvents(n int) { g.traceEvents = n }
+
+// SetLogger routes the registry's structured log output; the default is
+// slog.Default(). Call before serving.
+func (g *Registry) SetLogger(l *slog.Logger) {
+	if l != nil {
+		g.log = l
+	}
+}
+
+// EnablePprof mounts net/http/pprof under /debug/pprof/ on the registry
+// mux. Opt-in only: profile collection is CPU-heavy and the endpoints
+// expose binary layout, so keep them off unless the daemon's listener
+// is trusted. Call before serving.
+func (g *Registry) EnablePprof() { mountPprof(g.mux) }
+
+// handleHealthz is the daemon liveness probe: 200 with a run-state
+// summary. Every lifecycle state appears zero-filled, so probes can
+// index any state count without null handling.
+func (g *Registry) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	counts := map[string]int{}
+	for st := core.RunPending; st <= core.RunCancelled; st++ {
+		counts[st.String()] = 0
+	}
+	active := 0
+	for _, r := range g.List() {
+		st := r.State()
+		counts[st.String()]++
+		if !st.Terminal() {
+			active++
+		}
+	}
+	writeJSON(w, map[string]any{"ok": true, "active_runs": active, "runs": counts})
+}
 
 // Pool exposes the shared admission pool (nil when unbounded).
 func (g *Registry) Pool() *pilot.Pool { return g.pool }
@@ -258,8 +300,13 @@ func (g *Registry) Launch(l *config.Launch) (*Run, error) {
 		done:   make(chan struct{}),
 		state:  core.RunPending,
 	}
+	// Per-run flight recorder: bounded and drop-oldest like the bus, so
+	// it is safe to attach unconditionally; /runs/{id}/trace serves it.
+	rec := trace.New(g.traceEvents)
+	spec.Tracer = rec
 	run.srv = New(col, run.baseStatus)
 	run.srv.SetRunLabel(id)
+	run.srv.SetTracer(rec)
 	g.runs[id] = run
 	g.order = append(g.order, run)
 	g.wg.Add(1)
@@ -275,19 +322,22 @@ func (g *Registry) Launch(l *config.Launch) (*Run, error) {
 			if data, err := col.EncodeState(); err == nil {
 				sn.Analysis = data
 			} else {
-				log.Printf("repexd: run %s: encoding analysis state: %v", id, err)
+				g.log.Error("encoding analysis state", "run", id, "error", err)
 			}
 			data, err := sn.Encode()
 			if err == nil {
 				err = ckpt.WriteAtomic(path, data)
 			}
 			if err != nil {
-				log.Printf("repexd: run %s: checkpoint: %v", id, err)
+				g.log.Error("checkpoint write failed", "run", id, "error", err)
 			}
 		}
 	}
 
 	atoms, engine := l.Sim.Atoms, l.Sim.Engine
+	g.log.Info("run launched", "run", id, "name", spec.Name,
+		"engine", engine, "trigger", spec.TriggerName(),
+		"replicas", spec.Replicas(), "cores", ps.Cores)
 	go func() {
 		defer g.wg.Done()
 		defer g.pool.Release(ps.Cores)
@@ -309,6 +359,11 @@ func (g *Registry) Launch(l *config.Launch) (*Run, error) {
 			},
 		})
 		run.finish(report, err)
+		if err != nil && !errors.Is(err, core.ErrRunCancelled) {
+			g.log.Error("run failed", "run", id, "error", err)
+		} else {
+			g.log.Info("run finished", "run", id, "state", run.State().String())
+		}
 	}()
 	return run, nil
 }
@@ -436,6 +491,7 @@ func (g *Registry) handleCancel(w http.ResponseWriter, req *http.Request) {
 		httpError(w, http.StatusNotFound, "no such run")
 		return
 	}
+	g.log.Info("cancellation requested", "run", run.ID)
 	run.Cancel()
 	w.WriteHeader(http.StatusAccepted)
 	writeJSON(w, run.fullStatus())

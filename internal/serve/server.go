@@ -13,6 +13,14 @@
 //	GET /stats    JSON analysis.Stats (acceptance ratios, round trips,
 //	              mixing, overhead histograms)
 //	GET /metrics  Prometheus text exposition (version 0.0.4)
+//	GET /healthz  liveness probe: 200 with a one-line state summary
+//	GET /trace    Chrome trace-event JSON of the attached flight
+//	              recorder's current span window (404 when the run has
+//	              no recorder); load in Perfetto or chrome://tracing
+//
+// EnablePprof additionally mounts net/http/pprof under /debug/pprof/.
+// It is opt-in: profile endpoints can run CPU-heavy collection and leak
+// binary layout details, so they stay off unless the operator asks.
 //
 // Feedback-trigger runs additionally export the repex_feedback_*
 // gauge family — per-dimension target, measured rolling acceptance,
@@ -26,6 +34,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -33,6 +42,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/trace"
 )
 
 // RunStatus is the /status payload.
@@ -70,6 +80,12 @@ type RunStatus struct {
 	// acceptance, window/MinReady actuators and the ladder-spacing
 	// saturation diagnostic.
 	Feedback []core.FeedbackDimStatus `json:"feedback,omitempty"`
+	// TraceCapacity, TraceSpans and TraceDropped describe the attached
+	// flight recorder: ring size, total spans recorded and spans evicted
+	// by ring overflow. All zero when no recorder is attached.
+	TraceCapacity int    `json:"trace_capacity,omitempty"`
+	TraceSpans    uint64 `json:"trace_spans,omitempty"`
+	TraceDropped  uint64 `json:"trace_dropped,omitempty"`
 	// Error carries the failure message when State is "failed".
 	Error string `json:"error,omitempty"`
 }
@@ -81,9 +97,12 @@ type Server struct {
 	// runLabel, when set, stamps every metric line with a run="<id>"
 	// label so scrapes from many runs can federate without colliding.
 	runLabel string
-	mux      *http.ServeMux
-	lis      net.Listener
-	srv      *http.Server
+	// tracer is the run's flight recorder; nil disables /trace and the
+	// repex_trace_* metrics.
+	tracer *trace.Recorder
+	mux    *http.ServeMux
+	lis    net.Listener
+	srv    *http.Server
 }
 
 // New builds a server over a collector and a status source. Either may
@@ -94,6 +113,8 @@ func New(col *analysis.Collector, status func() RunStatus) *Server {
 	s.mux.HandleFunc("/status", s.handleStatus)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/trace", s.handleTrace)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
 }
 
@@ -104,6 +125,24 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // sets it so per-run scrapes of runs sharing a dimension layout stay
 // distinguishable after federation.
 func (s *Server) SetRunLabel(id string) { s.runLabel = id }
+
+// SetTracer attaches the run's flight recorder, enabling GET /trace and
+// the repex_trace_* metric counters. Call before Start.
+func (s *Server) SetTracer(rec *trace.Recorder) { s.tracer = rec }
+
+// EnablePprof mounts the net/http/pprof handlers under /debug/pprof/.
+// Opt-in only (see the package comment's security note); call before
+// Start.
+func (s *Server) EnablePprof() { mountPprof(s.mux) }
+
+// mountPprof registers the pprof handlers on a non-default mux.
+func mountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
 
 // Start listens on addr (host:port; port 0 picks a free one) and serves
 // in a background goroutine. It returns the bound address.
@@ -164,6 +203,11 @@ func (s *Server) runStatusFrom(stats *analysis.Stats) RunStatus {
 		}
 		st.BusDropped = stats.BusDropped
 	}
+	if s.tracer != nil {
+		st.TraceCapacity = s.tracer.Capacity()
+		st.TraceSpans = s.tracer.Recorded()
+		st.TraceDropped = s.tracer.Dropped()
+	}
 	return st
 }
 
@@ -174,6 +218,30 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.snapshot(true))
+}
+
+// handleTrace streams the flight recorder's current span window as
+// Chrome trace-event JSON. Snapshotting the ring is cheap and
+// lock-bounded, so polling /trace mid-run cannot stall the dispatcher.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.tracer == nil {
+		http.Error(w, "no flight recorder attached to this run", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = trace.WriteJSON(w, s.tracer.Snapshot())
+}
+
+// handleHealthz is the liveness probe: always 200 once the server
+// answers, with a minimal state summary for probes that read bodies.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	stats := s.snapshot(false)
+	st := s.runStatusFrom(&stats)
+	writeJSON(w, map[string]any{
+		"ok":              true,
+		"state":           st.State,
+		"exchange_events": st.ExchangeEvents,
+	})
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {
@@ -381,6 +449,22 @@ func writeMetrics(b *strings.Builder, views []runView) {
 		func(vw runView) uint64 { return vw.st.BusPublished })
 	counter("repex_bus_dropped_total", "Events the collector lost to ring overflow.",
 		func(vw runView) uint64 { return vw.stats.BusDropped })
+
+	// Flight-recorder counters, present only when some run has a
+	// recorder attached (mirrors the feedback-family gating above).
+	anyTrace := false
+	for _, vw := range views {
+		if vw.st.TraceCapacity > 0 {
+			anyTrace = true
+			break
+		}
+	}
+	if anyTrace {
+		counter("repex_trace_spans_total", "Spans recorded by the flight recorder.",
+			func(vw runView) uint64 { return vw.st.TraceSpans })
+		counter("repex_trace_dropped_total", "Spans evicted from the flight-recorder ring.",
+			func(vw runView) uint64 { return vw.st.TraceDropped })
+	}
 }
 
 // histogram renders one Prometheus histogram family: per view, the

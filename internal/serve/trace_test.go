@@ -1,0 +1,221 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+	"repro/internal/trace"
+)
+
+// chromeDoc is the subset of the Chrome trace-event format the tests
+// decode.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Name string `json:"name"`
+		Ph   string `json:"ph"`
+		Pid  int    `json:"pid"`
+		Tid  int    `json:"tid"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func completeSpans(doc chromeDoc) int {
+	n := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			n++
+		}
+	}
+	return n
+}
+
+// TestTraceEndpointWithoutRecorder: a server with no recorder attached
+// answers /trace with 404, not an empty trace.
+func TestTraceEndpointWithoutRecorder(t *testing.T) {
+	ts, _ := testServer(t)
+	resp, err := http.Get(ts.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /trace without recorder: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// tracedServer is testServer plus an attached flight recorder holding a
+// few spans.
+func tracedServer(t *testing.T) (*httptest.Server, *trace.Recorder) {
+	t.Helper()
+	rec := trace.New(64)
+	rec.Record(trace.Span{Kind: trace.KindMD, Start: 0, Dur: 10, Replica: 0, Pilot: 0})
+	rec.Record(trace.Span{Kind: trace.KindMD, Start: 0, Dur: 11, Replica: 1, Pilot: 0})
+	rec.Record(trace.Span{Kind: trace.KindExchange, Start: 11, Dur: 1, Dim: 0, Pairs: 2, Accepted: 1})
+	s := serve.New(seededCollector(), func() serve.RunStatus {
+		return serve.RunStatus{Name: "unit", State: "running", Replicas: 4}
+	})
+	s.SetTracer(rec)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts, rec
+}
+
+func TestTraceEndpointServesChromeJSON(t *testing.T) {
+	ts, _ := tracedServer(t)
+	var doc chromeDoc
+	if err := json.Unmarshal(get(t, ts.URL+"/trace"), &doc); err != nil {
+		t.Fatalf("/trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit %q, want ms", doc.DisplayTimeUnit)
+	}
+	// 2 MD spans x 2 tracks + 1 exchange span.
+	if n := completeSpans(doc); n != 5 {
+		t.Fatalf("%d complete events, want 5", n)
+	}
+}
+
+// TestTraceStatusAndMetrics: the recorder's counters surface in /status
+// and as run-labelled counters in /metrics — and the families are
+// absent entirely when no recorder is attached.
+func TestTraceStatusAndMetrics(t *testing.T) {
+	ts, rec := tracedServer(t)
+	var st serve.RunStatus
+	if err := json.Unmarshal(get(t, ts.URL+"/status"), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.TraceCapacity != rec.Capacity() || st.TraceSpans != rec.Recorded() {
+		t.Fatalf("status trace counters %d/%d, want %d/%d",
+			st.TraceCapacity, st.TraceSpans, rec.Capacity(), rec.Recorded())
+	}
+	metrics := string(get(t, ts.URL+"/metrics"))
+	if !strings.Contains(metrics, "repex_trace_spans_total 3") {
+		t.Fatalf("metrics missing repex_trace_spans_total 3:\n%s", metrics)
+	}
+	if !strings.Contains(metrics, "repex_trace_dropped_total 0") {
+		t.Fatalf("metrics missing repex_trace_dropped_total:\n%s", metrics)
+	}
+
+	plain, _ := testServer(t)
+	if m := string(get(t, plain.URL+"/metrics")); strings.Contains(m, "repex_trace_") {
+		t.Fatal("tracer-less server exports repex_trace_* families")
+	}
+}
+
+func TestHealthzEndpoint(t *testing.T) {
+	ts, _ := testServer(t)
+	var h struct {
+		OK             bool   `json:"ok"`
+		State          string `json:"state"`
+		ExchangeEvents int    `json:"exchange_events"`
+	}
+	if err := json.Unmarshal(get(t, ts.URL+"/healthz"), &h); err != nil {
+		t.Fatal(err)
+	}
+	if !h.OK || h.State != "running" || h.ExchangeEvents != 1 {
+		t.Fatalf("healthz %+v", h)
+	}
+}
+
+// TestPprofOptIn: the profile endpoints exist only after EnablePprof.
+func TestPprofOptIn(t *testing.T) {
+	off, _ := testServer(t)
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof reachable without opt-in: status %d", resp.StatusCode)
+	}
+
+	s := serve.New(nil, nil)
+	s.EnablePprof()
+	on := httptest.NewServer(s.Handler())
+	t.Cleanup(on.Close)
+	if body := string(get(t, on.URL+"/debug/pprof/")); !strings.Contains(body, "profile") {
+		t.Fatalf("pprof index unexpected after EnablePprof:\n%.200s", body)
+	}
+}
+
+// TestRegistryHealthz: the daemon healthz is a JSON run-state summary
+// with every lifecycle state zero-filled (probes index counts without
+// null handling).
+func TestRegistryHealthz(t *testing.T) {
+	_, ts := newDaemon(t, 8, 0)
+	var h struct {
+		OK         bool           `json:"ok"`
+		ActiveRuns int            `json:"active_runs"`
+		Runs       map[string]int `json:"runs"`
+	}
+	if err := json.Unmarshal(get(t, ts.URL+"/healthz"), &h); err != nil {
+		t.Fatal(err)
+	}
+	if !h.OK {
+		t.Fatal("healthz not ok")
+	}
+	for _, state := range []string{"pending", "running", "completed", "failed", "cancelled"} {
+		if _, present := h.Runs[state]; !present {
+			t.Fatalf("healthz runs map missing zero-filled state %q: %v", state, h.Runs)
+		}
+	}
+
+	st, code := postRun(t, ts.URL, launchBody(simBody("hz", 4, 2, 7), resBody8, ""))
+	if code != http.StatusCreated {
+		t.Fatalf("launch: %d", code)
+	}
+	waitFor(t, ts.URL, st.ID, func(s serve.RunStatus) bool { return terminal(s.State) }, "completion")
+	if err := json.Unmarshal(get(t, ts.URL+"/healthz"), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Runs["completed"] != 1 || h.ActiveRuns != 0 {
+		t.Fatalf("healthz after completion: %+v", h)
+	}
+}
+
+// TestRegistryRunTrace: every registry-launched run has a flight
+// recorder; after completion /runs/{id}/trace serves a loadable trace
+// whose MD events cover every completed segment on the replica and
+// pilot tracks, and the aggregate scrape carries the run-labelled trace
+// counters.
+func TestRegistryRunTrace(t *testing.T) {
+	reg, ts := newDaemon(t, 8, 0)
+	reg.SetTraceEvents(256)
+	st, code := postRun(t, ts.URL, launchBody(simBody("traced", 4, 2, 11), resBody8, ""))
+	if code != http.StatusCreated {
+		t.Fatalf("launch: %d", code)
+	}
+	fin := waitFor(t, ts.URL, st.ID, func(s serve.RunStatus) bool { return terminal(s.State) }, "completion")
+	if fin.State != "completed" {
+		t.Fatalf("run ended %q: %s", fin.State, fin.Error)
+	}
+	if fin.TraceCapacity != 256 || fin.TraceSpans == 0 {
+		t.Fatalf("status trace counters %d/%d, want capacity 256 and spans > 0",
+			fin.TraceCapacity, fin.TraceSpans)
+	}
+
+	var doc chromeDoc
+	if err := json.Unmarshal(get(t, ts.URL+"/runs/"+st.ID+"/trace"), &doc); err != nil {
+		t.Fatalf("/runs/{id}/trace is not valid JSON: %v", err)
+	}
+	md := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.Name == "md" {
+			md++
+		}
+	}
+	// 4 replicas x 2 cycles, each segment on the replica and the pilot
+	// track.
+	if md != 16 {
+		t.Fatalf("%d md events, want 16 (4 replicas x 2 cycles x 2 tracks)", md)
+	}
+
+	metrics := string(get(t, ts.URL+"/metrics"))
+	if !strings.Contains(metrics, `repex_trace_spans_total{run="`+st.ID+`"}`) {
+		t.Fatalf("aggregate scrape missing run-labelled repex_trace_spans_total:\n%.400s", metrics)
+	}
+}

@@ -107,6 +107,12 @@ type Result struct {
 	Launch   float64 // agent launcher queueing + launch latency (T_RP-over)
 	Exec     float64 // compute time (T_MD or T_EX)
 	StageOut float64 // output staging
+	// Pilot identifies the pilot that executed the task, for runtimes
+	// managing more than one: the routing index under a multi-pilot
+	// runtime, the failover generation (0 for the initial pilot) under
+	// a single-pilot failover runtime. Stamped at submission, so the
+	// flight recorder can attribute each segment to its executor.
+	Pilot int
 	// Err is non-nil if the task failed (fault injection or real error).
 	Err error
 }
