@@ -88,6 +88,8 @@ func main() {
 	targetAcc := flag.String("target-acceptance", "", "feedback trigger acceptance set point: a scalar in (0,1) or a per-dimension JSON map like '{\"T\":0.4,\"U\":0.25}'; empty keeps the sim file's value (requires the feedback trigger)")
 	windowEvents := flag.Int("window-events", 0, "rolling-window depth for pair statistics and the feedback trigger (overrides the sim file)")
 	tracePath := flag.String("trace", "", "write the flight recorder's span timeline as Chrome trace-event JSON to this file at exit")
+	preemptNotice := flag.Float64("preempt-notice", -1, "default preemption notice window in virtual seconds for chaos preempt events that omit notice_sec (overrides the resource file's preempt_notice_sec; negative keeps the file's value)")
+	noChaos := flag.Bool("no-chaos", false, "ignore the resource file's chaos plan (run the same config on quiet resources)")
 	logLevel := flag.String("log-level", "info", "stderr log threshold: debug, info, warn or error")
 	flag.Parse()
 	if *simPath == "" || *resPath == "" {
@@ -98,7 +100,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "repex:", err)
 		os.Exit(2)
 	}
-	ov := overrides{trigger: *trigger, windowEvents: *windowEvents}
+	ov := overrides{trigger: *trigger, windowEvents: *windowEvents,
+		preemptNotice: *preemptNotice, noChaos: *noChaos}
 	if *targetAcc != "" {
 		ta, err := parseTargetAcceptance(*targetAcc)
 		if err != nil {
@@ -126,11 +129,15 @@ func setupLogging(level string) error {
 }
 
 // overrides are the command-line knobs that take precedence over the
-// simulation file's trigger fields.
+// simulation file's trigger fields and the resource file's chaos knobs.
 type overrides struct {
 	trigger          string
 	targetAcceptance *config.TargetAcceptance
 	windowEvents     int
+	// preemptNotice overrides the resource's preempt_notice_sec when
+	// non-negative; noChaos drops the resource's chaos plan entirely.
+	preemptNotice float64
+	noChaos       bool
 }
 
 // parseTargetAcceptance parses the -target-acceptance flag: the same
@@ -176,7 +183,17 @@ func run(simPath, resPath, resumePath, ckptPath string, ckptEvery int, listen, t
 	if err != nil {
 		return err
 	}
-	machine, pilotSpec, err := config.ParseResource(resData)
+	resFile, err := config.DecodeResource(resData)
+	if err != nil {
+		return err
+	}
+	if ov.preemptNotice >= 0 {
+		resFile.PreemptNoticeSec = ov.preemptNotice
+	}
+	if ov.noChaos {
+		resFile.Chaos = nil
+	}
+	machine, pilotSpec, err := resFile.Resolve()
 	if err != nil {
 		return err
 	}
@@ -332,6 +349,7 @@ func run(simPath, resPath, resumePath, ckptPath string, ckptEvery int, listen, t
 		PilotCores:    pilotSpec.Cores,
 		PilotWalltime: pilotSpec.Walltime,
 		Pilots:        pilotSpec.Pilots,
+		Chaos:         pilotSpec.Chaos,
 		NewEngine: func(seed int64) core.Engine {
 			return engines.NewNamedVirtual(simFile.Engine, simFile.Atoms, seed)
 		},

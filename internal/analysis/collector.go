@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ring"
+	"repro/internal/task"
 )
 
 // Config sizes a Collector for one simulation.
@@ -159,6 +160,13 @@ type state struct {
 	Walks       []walk            `json:"walks"`
 	MDExec      Histogram         `json:"md_exec"`
 	ExchangeOvh Histogram         `json:"exchange_overhead"`
+	// ResourceEvents counts pilot lifecycle events, Preemptions the
+	// preemption notices among them; PilotCores is the latest core count
+	// per pilot slot (nil until a resource event arrives — quiet runs
+	// publish none).
+	ResourceEvents uint64      `json:"resource_events,omitempty"`
+	Preemptions    uint64      `json:"preemptions,omitempty"`
+	PilotCores     map[int]int `json:"pilot_cores,omitempty"`
 }
 
 // Collector accumulates online statistics from simulation events. All
@@ -283,6 +291,15 @@ func (c *Collector) apply(ev core.Event) {
 		if e.Kind != core.FaultKindDrop {
 			c.st.MDExec.Observe(e.Exec)
 		}
+	case core.ResourceEvent:
+		c.st.ResourceEvents++
+		if c.st.PilotCores == nil {
+			c.st.PilotCores = map[int]int{}
+		}
+		c.st.PilotCores[e.Pilot] = e.Cores
+		if e.Kind == task.ResourcePreempt {
+			c.st.Preemptions++
+		}
 	case core.ExchangeEvent:
 		c.applyExchange(e)
 	}
@@ -396,6 +413,13 @@ type Stats struct {
 	// (seconds).
 	MDExec           Histogram `json:"md_exec"`
 	ExchangeOverhead Histogram `json:"exchange_overhead"`
+	// ResourceEvents counts pilot lifecycle events observed on the bus;
+	// Preemptions the preemption notices among them.
+	ResourceEvents uint64 `json:"resource_events"`
+	Preemptions    uint64 `json:"preemptions"`
+	// PilotCores is the latest core count per pilot slot, present only
+	// for runs that published resource events (elastic runtimes).
+	PilotCores map[int]int `json:"pilot_cores,omitempty"`
 	// BusDropped counts events this collector lost to ring overflow.
 	BusDropped uint64 `json:"bus_dropped"`
 }
@@ -457,6 +481,14 @@ func (c *Collector) snapshot(withTraces bool) Stats {
 	}
 	if n := len(c.st.Walks); n > 0 {
 		s.FullTraversalFraction = float64(seenBoth) / float64(n)
+	}
+	s.ResourceEvents = c.st.ResourceEvents
+	s.Preemptions = c.st.Preemptions
+	if len(c.st.PilotCores) > 0 {
+		s.PilotCores = make(map[int]int, len(c.st.PilotCores))
+		for k, v := range c.st.PilotCores {
+			s.PilotCores[k] = v
+		}
 	}
 	s.MDExec = cloneHistogram(c.st.MDExec)
 	s.ExchangeOverhead = cloneHistogram(c.st.ExchangeOvh)

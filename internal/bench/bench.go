@@ -33,6 +33,12 @@ type RunParams struct {
 	// the paper's flexible resource mapping describes). Zero or one
 	// keeps the single failover pilot.
 	Pilots int
+	// Chaos, when non-empty, scripts resource faults (node loss,
+	// preemption, resize) against the run's pilots at fixed virtual
+	// times; see pilot.ChaosPlan. The plan's slot indices address the
+	// MultiRuntime routing slots (always 0 for a single pilot), hitting
+	// whichever pilot occupies the slot at fire time.
+	Chaos *pilot.ChaosPlan
 	// NewEngine constructs the engine adapter (called once).
 	NewEngine func(seed int64) core.Engine
 	// Seed for cluster jitter and fault draws.
@@ -63,6 +69,13 @@ func Run(p RunParams) (*core.Report, error) {
 		if err != nil {
 			runErr = err
 			return
+		}
+		if !p.Chaos.Empty() {
+			if err := p.Chaos.Validate(); err != nil {
+				runErr = err
+				return
+			}
+			p.Chaos.Drive(env, chaosLookup(rt))
 		}
 		simu, err := core.New(p.Spec, eng, rt)
 		if err != nil {
@@ -114,6 +127,26 @@ func newRuntime(cl *cluster.Cluster, p RunParams, proc *sim.Proc) (task.Runtime,
 	}
 	mr.Failover = true
 	return mr, nil
+}
+
+// chaosLookup adapts a runtime to the chaos driver's slot addressing: a
+// MultiRuntime exposes its routing slots; a single failover runtime
+// maps every slot-0 fault to its current pilot incarnation. Slots
+// beyond the runtime's pilots resolve to nil and the fault is skipped.
+func chaosLookup(rt task.Runtime) func(slot int) *pilot.Pilot {
+	switch r := rt.(type) {
+	case *pilot.MultiRuntime:
+		return r.PilotAt
+	case *pilot.Runtime:
+		return func(slot int) *pilot.Pilot {
+			if slot != 0 {
+				return nil
+			}
+			return r.Pilot()
+		}
+	default:
+		return func(int) *pilot.Pilot { return nil }
+	}
 }
 
 // Table is a printable experiment result.

@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/engines"
+)
+
+// chaosParams loads the committed chaos configs (the pair the CI
+// chaos-soak lane runs) into fresh RunParams. Specs are stateful, so
+// every call rebuilds everything from the files.
+func chaosParams(t *testing.T) RunParams {
+	t.Helper()
+	simData, err := os.ReadFile(filepath.Join("..", "..", "configs", "chaos_sim_small.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	simFile, err := config.ParseSimulation(simData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := simFile.ToSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resData, err := os.ReadFile(filepath.Join("..", "..", "configs", "chaos_small.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine, ps, err := config.ParseResource(resData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Chaos.Empty() {
+		t.Fatal("configs/chaos_small.json carries no chaos plan")
+	}
+	return RunParams{
+		Spec:          spec,
+		Cluster:       machine,
+		PilotCores:    ps.Cores,
+		PilotWalltime: ps.Walltime,
+		Pilots:        ps.Pilots,
+		Chaos:         ps.Chaos,
+		NewEngine: func(seed int64) core.Engine {
+			return engines.NewNamedVirtual(simFile.Engine, simFile.Atoms, seed)
+		},
+		Seed: spec.Seed,
+	}
+}
+
+// checkChaosReport asserts the invariants the chaos lane gates on:
+// the scripted faults really happened (preemption observed, units
+// relaunched) and no replica was lost to them — every failure was
+// resource loss, which is the infrastructure's fault, not the
+// replica's.
+func checkChaosReport(t *testing.T, rep *core.Report) {
+	t.Helper()
+	if rep.Dropped != 0 {
+		t.Fatalf("chaos run dropped %d replicas, want 0 (resource loss must not consume replica budgets)", rep.Dropped)
+	}
+	if rep.Preemptions < 1 {
+		t.Fatalf("chaos run observed %d preemptions, want >= 1 (the plan scripts one)", rep.Preemptions)
+	}
+	if rep.Relaunches < 1 {
+		t.Fatal("chaos run relaunched nothing; the node loss and preemption should have killed in-flight units")
+	}
+	if rep.SlotRows != rep.Cycles {
+		t.Fatalf("chaos run recorded %d slot rows, want %d (one per barrier sub-cycle)", rep.SlotRows, rep.Cycles)
+	}
+}
+
+// TestChaosSmallDeterministic: the committed chaos plan — node loss
+// mid-cycle, a preemption with notice, an elastic shrink — perturbs
+// only virtual-time scheduling, so two runs produce bit-identical slot
+// histories and the committed golden fingerprint still matches.
+func TestChaosSmallDeterministic(t *testing.T) {
+	a, err := Run(chaosParams(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkChaosReport(t, a)
+	b, err := Run(chaosParams(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SlotFingerprint != b.SlotFingerprint || a.SlotRows != b.SlotRows {
+		t.Fatalf("chaos run not reproducible: %d rows %016x vs %d rows %016x",
+			a.SlotRows, a.SlotFingerprint, b.SlotRows, b.SlotFingerprint)
+	}
+
+	golden, err := os.ReadFile(filepath.Join("..", "..", "configs", "chaos_small.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fmt.Sprintf("%d %016x", a.SlotRows, a.SlotFingerprint)
+	if want := strings.TrimSpace(string(golden)); got != want {
+		t.Fatalf("slot history diverged from configs/chaos_small.golden: got %q, want %q\n"+
+			"(if the change is intentional, update the golden file)", got, want)
+	}
+}
+
+// TestChaosSmallResume: killing the chaos run at a checkpoint boundary
+// and resuming — with the same chaos plan re-driven against the fresh
+// virtual clock — completes with the identical slot history: the
+// barrier absorbs completions in submission order, so resource faults
+// can delay segments but never reorder the exchange decisions.
+func TestChaosSmallResume(t *testing.T) {
+	full, err := Run(chaosParams(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkChaosReport(t, full)
+
+	var snaps []*core.Snapshot
+	p := chaosParams(t)
+	p.Spec.SnapshotEvery = 3
+	p.Spec.OnSnapshot = func(sn *core.Snapshot) { snaps = append(snaps, sn) }
+	if _, err := Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("no snapshots captured")
+	}
+	data, err := snaps[0].Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := core.DecodeSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rp := chaosParams(t)
+	rp.Spec.Resume = snap
+	resumed, err := Run(rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Dropped != 0 {
+		t.Fatalf("resumed chaos run dropped %d replicas, want 0", resumed.Dropped)
+	}
+	if resumed.SlotFingerprint != full.SlotFingerprint || resumed.SlotRows != full.SlotRows {
+		t.Fatalf("resumed chaos run diverged: %d rows %016x, uninterrupted %d rows %016x",
+			resumed.SlotRows, resumed.SlotFingerprint, full.SlotRows, full.SlotFingerprint)
+	}
+}
+
+// TestChaosNoChaosDiverges guards against the chaos plan silently not
+// firing: the same configs without the plan must route differently
+// enough to relaunch nothing and preempt nothing.
+func TestChaosNoChaosDiverges(t *testing.T) {
+	p := chaosParams(t)
+	p.Chaos = nil
+	rep, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Preemptions != 0 {
+		t.Fatalf("quiet run observed %d preemptions, want 0", rep.Preemptions)
+	}
+	if rep.Relaunches != 0 {
+		t.Fatalf("quiet run relaunched %d units, want 0 (no walltime, no chaos)", rep.Relaunches)
+	}
+	if rep.Dropped != 0 {
+		t.Fatalf("quiet run dropped %d replicas", rep.Dropped)
+	}
+}

@@ -216,6 +216,39 @@ func (a *Allocation) Release() {
 	a.c.cores.Release(a.Cores)
 }
 
+// ReleasePartial returns n cores of the allocation to the machine
+// without ending it — the node-loss path: the allocation keeps running,
+// smaller. Returns the number actually released (clamped to the cores
+// still held; 0 after Release).
+func (a *Allocation) ReleasePartial(n int) int {
+	if a.released || n <= 0 {
+		return 0
+	}
+	if n > a.Cores {
+		n = a.Cores
+	}
+	a.Cores -= n
+	a.c.cores.Release(n)
+	if a.Cores == 0 {
+		a.released = true
+	}
+	return n
+}
+
+// Grow attempts to extend the allocation by n cores without queueing
+// (an elastic resize must not deadlock behind the batch queue) and
+// reports success.
+func (a *Allocation) Grow(n int) bool {
+	if a.released || n <= 0 {
+		return false
+	}
+	if !a.c.cores.TryAcquire(n) {
+		return false
+	}
+	a.Cores += n
+	return true
+}
+
 // ScaleDuration converts a reference-machine compute duration to this
 // machine, applying the speed factor and lognormal execution jitter.
 func (c *Cluster) ScaleDuration(d float64) float64 {

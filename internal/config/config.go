@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exchange"
 	"repro/internal/md"
+	"repro/internal/pilot"
 )
 
 // Simulation is the JSON shape of a simulation input file.
@@ -155,6 +156,32 @@ type Resource struct {
 	// pilot must get at least one core.
 	Pilots int   `json:"pilots,omitempty"`
 	Seed   int64 `json:"seed,omitempty"`
+	// PreemptNoticeSec is the default preemption notice window applied
+	// to chaos "preempt" events that omit notice_sec (0: such events
+	// preempt immediately).
+	PreemptNoticeSec float64 `json:"preempt_notice_sec,omitempty"`
+	// Chaos scripts resource faults — node losses that shrink a pilot,
+	// spot-style preemption notices, elastic resizes — at fixed virtual
+	// times, making lossy-resource runs bit-reproducible. See
+	// docs/resources.md for the semantics of each kind.
+	Chaos []ChaosEvent `json:"chaos,omitempty"`
+}
+
+// ChaosEvent is the JSON shape of one scripted resource fault.
+type ChaosEvent struct {
+	// AtSec is the virtual fire time in seconds from run start.
+	AtSec float64 `json:"at_sec"`
+	// Pilot is the routing slot the fault targets (0, the only slot,
+	// under a single pilot).
+	Pilot int `json:"pilot,omitempty"`
+	// Kind is "node-loss", "preempt" or "resize".
+	Kind string `json:"kind"`
+	// Cores is the core count removed by "node-loss" or the signed
+	// delta applied by "resize".
+	Cores int `json:"cores,omitempty"`
+	// NoticeSec is the preemption notice window in seconds ("preempt");
+	// omitted, it inherits the resource's preempt_notice_sec.
+	NoticeSec float64 `json:"notice_sec,omitempty"`
 }
 
 // PilotSpec is the pilot request parsed from a resource file.
@@ -166,6 +193,8 @@ type PilotSpec struct {
 	// Pilots is the concurrent pilot count the cores are split across
 	// (<= 1: one pilot).
 	Pilots int
+	// Chaos is the resolved chaos plan (nil: no scripted faults).
+	Chaos *pilot.ChaosPlan
 }
 
 // ParseSimulation decodes and validates a simulation file.
@@ -399,11 +428,21 @@ func (d Dim) toDimension() (core.Dimension, error) {
 // ParseResource decodes and validates a resource file, returning the
 // machine config and the pilot request (size + walltime + pilot count).
 func ParseResource(data []byte) (cluster.Config, PilotSpec, error) {
-	var r Resource
-	if err := json.Unmarshal(data, &r); err != nil {
-		return cluster.Config{}, PilotSpec{}, fmt.Errorf("config: %v", err)
+	r, err := DecodeResource(data)
+	if err != nil {
+		return cluster.Config{}, PilotSpec{}, err
 	}
 	return r.Resolve()
+}
+
+// DecodeResource decodes a resource file without resolving it, so
+// callers (cmd/repex) can apply command-line overrides before Resolve.
+func DecodeResource(data []byte) (*Resource, error) {
+	var r Resource
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("config: %v", err)
+	}
+	return &r, nil
 }
 
 // Resolve validates the resource and returns the machine config plus
@@ -449,8 +488,46 @@ func (r *Resource) Resolve() (cluster.Config, PilotSpec, error) {
 	if r.Pilots > 1 && r.PilotCores/r.Pilots < 1 {
 		return cluster.Config{}, PilotSpec{}, fmt.Errorf("config: %d pilot_cores cannot cover %d pilots", r.PilotCores, r.Pilots)
 	}
+	if r.PreemptNoticeSec < 0 {
+		return cluster.Config{}, PilotSpec{}, fmt.Errorf("config: preempt_notice_sec must be non-negative")
+	}
+	plan, err := r.chaosPlan()
+	if err != nil {
+		return cluster.Config{}, PilotSpec{}, err
+	}
 	if err := cfg.Validate(); err != nil {
 		return cluster.Config{}, PilotSpec{}, err
 	}
-	return cfg, PilotSpec{Cores: r.PilotCores, Walltime: r.WalltimeSec, Pilots: r.Pilots}, nil
+	return cfg, PilotSpec{Cores: r.PilotCores, Walltime: r.WalltimeSec, Pilots: r.Pilots, Chaos: plan}, nil
+}
+
+// chaosPlan converts the resource's chaos script into a validated
+// pilot.ChaosPlan, applying the preempt-notice default and checking
+// every targeted slot against the configured pilot count.
+func (r *Resource) chaosPlan() (*pilot.ChaosPlan, error) {
+	if len(r.Chaos) == 0 {
+		return nil, nil
+	}
+	slots := r.Pilots
+	if slots < 1 {
+		slots = 1
+	}
+	plan := &pilot.ChaosPlan{Events: make([]pilot.ChaosEvent, 0, len(r.Chaos))}
+	for _, e := range r.Chaos {
+		if e.Pilot >= slots {
+			return nil, fmt.Errorf("config: chaos event at t=%g targets pilot %d, but only %d pilot slot(s) exist",
+				e.AtSec, e.Pilot, slots)
+		}
+		notice := e.NoticeSec
+		if e.Kind == pilot.ChaosPreempt && notice == 0 {
+			notice = r.PreemptNoticeSec
+		}
+		plan.Events = append(plan.Events, pilot.ChaosEvent{
+			At: e.AtSec, Pilot: e.Pilot, Kind: e.Kind, Cores: e.Cores, Notice: notice,
+		})
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, fmt.Errorf("config: %v", err)
+	}
+	return plan, nil
 }

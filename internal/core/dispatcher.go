@@ -78,8 +78,11 @@ func (s *Simulation) dispatch(ctx context.Context, tr Trigger) error {
 	// dimension's control step has already run when the span is recorded.
 	fbTr, _ := tr.(*FeedbackTrigger)
 	// Queued bus events are flushed once per dispatcher wakeup; the
-	// deferred flush covers error returns mid-round.
+	// deferred flush covers error returns mid-round. Resource events are
+	// drained first (LIFO), so pilot lifecycle changes buffered by an
+	// elastic runtime reach the bus even on error paths.
 	defer s.flushBus()
+	defer s.drainResourceEvents()
 	if s.resumed && len(spec.Resume.TriggerData) > 0 {
 		st, ok := tr.(StatefulTrigger)
 		if !ok {
@@ -263,6 +266,8 @@ func (s *Simulation) dispatch(ctx context.Context, tr Trigger) error {
 
 	roundT0 = s.rt.Now()
 	submit(s.budgetedReplicas(segBudget))
+	s.drainResourceEvents() // pilot launch events precede the first round
+	s.flushBus()
 	tr.Reset(state())
 
 	// noopFires detects policies that fire without making progress: two
@@ -312,12 +317,14 @@ func (s *Simulation) dispatch(ctx context.Context, tr Trigger) error {
 				}
 				freeFlight(f)
 			}
+			s.drainResourceEvents()
 			s.flushBus()
 
 		case TriggerFireAtDeadline:
 			s.rt.SleepUntil(tr.Deadline(st))
 			fallthrough
 		case TriggerFire:
+			s.drainResourceEvents()
 			fired := aligned || len(ready) >= 2
 			if aligned {
 				// One synchronous sub-cycle: process the batch, exchange

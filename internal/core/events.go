@@ -90,6 +90,28 @@ const (
 	FaultKindCancelled = "cancelled"
 )
 
+// ResourceEvent mirrors one task.ResourceEvent on the bus: a pilot
+// lifecycle change (launch, node-loss shrink, preemption notice,
+// resize, expiry) drained from an elastic runtime.
+type ResourceEvent struct {
+	At float64
+	// Pilot is the routing slot (multi-pilot) or failover generation
+	// (single-pilot) of the affected pilot.
+	Pilot int
+	// Kind is one of the task.Resource* kind strings ("launch",
+	// "shrink", "preempt", "resize", "expire").
+	Kind string
+	// Cores is the pilot's core count after the change; Delta the
+	// signed change.
+	Cores int
+	Delta int
+	// Notice is the preemption notice window in seconds (preempt only).
+	Notice float64
+}
+
+// When returns the publication time.
+func (e ResourceEvent) When() float64 { return e.At }
+
 // FaultEvent records one fault-handling action.
 type FaultEvent struct {
 	At      float64

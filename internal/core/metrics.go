@@ -134,6 +134,9 @@ type Report struct {
 	// run was cancelled through RunContext; their segments are redone on
 	// resume.
 	CancelledUnits int
+	// Preemptions counts the preemption notices the run's pilots
+	// received (drained from an elastic runtime's resource events).
+	Preemptions int
 
 	// SlotHistory records each replica's slot after every exchange event
 	// (row = event, column = replica ID; one event per sub-cycle under

@@ -249,6 +249,27 @@ func (s *Simulation) flushBus() {
 	s.busBatch = s.busBatch[:0]
 }
 
+// drainResourceEvents pulls buffered pilot lifecycle events out of an
+// elastic runtime (one implementing task.ResourceReporter) into the
+// observability pipeline: each is queued on the bus as a ResourceEvent,
+// mirrored onto the flight recorder, and preemption notices bump the
+// report counter. Runtimes without the interface make this a no-op, and
+// nothing here touches the RNG stream or the virtual clock.
+func (s *Simulation) drainResourceEvents() {
+	rr, ok := s.rt.(task.ResourceReporter)
+	if !ok {
+		return
+	}
+	for _, ev := range rr.DrainResourceEvents() {
+		if ev.Kind == task.ResourcePreempt {
+			s.report.Preemptions++
+		}
+		s.publish(ResourceEvent{At: ev.At, Pilot: ev.Pilot, Kind: ev.Kind,
+			Cores: ev.Cores, Delta: ev.Delta, Notice: ev.Notice})
+		s.recordResource(ev)
+	}
+}
+
 // coordAlong returns slot's window index along dimension d.
 func (s *Simulation) coordAlong(slot, d int) int {
 	return slot / s.dimStride[d] % len(s.spec.Dims[d].Values)

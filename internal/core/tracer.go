@@ -128,6 +128,21 @@ func (s *Simulation) recordCheckpoint(events int, label string) {
 	})
 }
 
+// recordResource emits one pilot lifecycle instant on the pilot's
+// track (launch, shrink, preempt, resize, expire).
+func (s *Simulation) recordResource(ev task.ResourceEvent) {
+	if s.tracer == nil {
+		return
+	}
+	s.tracer.Record(trace.Span{
+		Kind:  trace.KindResource,
+		Start: ev.At,
+		Pilot: ev.Pilot,
+		Pairs: ev.Cores,
+		Label: ev.Kind,
+	})
+}
+
 // recordFault emits one fault-action instant on the replica's track.
 func (s *Simulation) recordFault(replica int, kind string, retries int) {
 	if s.tracer == nil {

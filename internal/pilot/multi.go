@@ -2,39 +2,73 @@ package pilot
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/sim"
 	"repro/internal/task"
 )
+
+// DefaultLoadDecayTau is the e-folding time, in virtual seconds, of the
+// completed-work load estimate used by MultiRuntime routing.
+const DefaultLoadDecayTau = 300.0
+
+// DefaultAffinityBonus is the load discount granted to the pilot that
+// last successfully ran a replica's task (staging affinity: its inputs
+// are already on that machine's filesystem).
+const DefaultAffinityBonus = 0.05
 
 // MultiRuntime schedules one REMD workload across several pilots on
 // (possibly different) machines at once — the paper's final named
 // extension ("RepEx can be extended to use multiple HPC resources
 // simultaneously for a single REMD simulation", §5).
 //
-// Tasks are routed to the pilot with the most free capacity at submit
-// time (weighted least-loaded), so a big allocation on one machine and a
-// small one on another are both kept busy. All pilots must live in the
-// same simulation environment and be driven from the same orchestrator
-// process.
+// Routing is weighted least-loaded over two signals: the core-width
+// currently in flight on each pilot, plus an exponentially decaying
+// estimate of recently completed core work. Both are kept per routing
+// slot, not per pilot incarnation, so a failover relaunch inherits its
+// slot's history instead of looking idle and attracting a thundering
+// herd. A staging-affinity discount prefers the pilot that last ran a
+// replica (its staged inputs are already there). All pilots must live
+// in the same simulation environment and be driven from the same
+// orchestrator process.
 type MultiRuntime struct {
 	pilots []*Pilot
 	proc   *sim.Proc
 	stream *unitStream
 	// OverheadTotal accumulates client-side overhead (T_RepEx-over).
 	OverheadTotal float64
-	// Failover, when set, replaces an expired pilot in place (same
-	// machine, same description, fresh batch-queue wait) the next time a
-	// submission would route to it. When unset, expired pilots are
-	// simply skipped and the surviving allocations absorb the work.
+	// Failover, when set, replaces an expired or draining pilot in
+	// place (same machine, same description, fresh batch-queue wait)
+	// the next time a submission would route to it. When unset, dead
+	// pilots are simply skipped and the surviving allocations absorb
+	// the work.
 	Failover bool
-	// routed counts tasks per pilot, for balance inspection.
+	// LoadDecayTau is the e-folding time (virtual seconds) of the
+	// completed-work estimate; 0 selects DefaultLoadDecayTau.
+	LoadDecayTau float64
+	// AffinityBonus is the staging-affinity load discount; 0 selects
+	// DefaultAffinityBonus, negative disables affinity.
+	AffinityBonus float64
+	// routed counts tasks per pilot slot, for balance inspection.
 	routed []int
-	// assignedCores tracks total core-width submitted per pilot, the
-	// basis of the capacity-proportional routing decision.
-	assignedCores []int
+	// inflight tracks core-width submitted but not yet completed per
+	// slot. It is decremented by unit completion callbacks, so pilot
+	// failures (whose units all fail, completing them) drain it
+	// naturally — no reset on relaunch.
+	inflight []int
+	// recent / recentAt implement the per-slot decaying completed-work
+	// estimate (core-width units, e-folding over LoadDecayTau).
+	recent   []float64
+	recentAt []float64
+	// lastPilot remembers which pilot instance last successfully ran
+	// each replica, for the staging-affinity discount. Instance
+	// pointers, not slots: a relaunched pilot has lost the staged data.
+	lastPilot map[int]*Pilot
 	// relaunched counts replacement pilots launched by failover.
 	relaunched int
+	// retired holds replaced pilots until their remaining resource
+	// events (the drain-then-expire of a preempted pilot) are drained.
+	retired []ownedPilot
 }
 
 // NewMultiRuntime binds pilots to an orchestrator process. At least one
@@ -49,24 +83,41 @@ func NewMultiRuntime(proc *sim.Proc, pilots ...*Pilot) (*MultiRuntime, error) {
 		}
 	}
 	return &MultiRuntime{
-		pilots:        pilots,
-		proc:          proc,
-		stream:        newUnitStream(proc),
-		routed:        make([]int, len(pilots)),
-		assignedCores: make([]int, len(pilots)),
+		pilots:    pilots,
+		proc:      proc,
+		stream:    newUnitStream(proc),
+		routed:    make([]int, len(pilots)),
+		inflight:  make([]int, len(pilots)),
+		recent:    make([]float64, len(pilots)),
+		recentAt:  make([]float64, len(pilots)),
+		lastPilot: make(map[int]*Pilot),
 	}, nil
 }
 
 // Pilots returns the managed pilots.
 func (m *MultiRuntime) Pilots() []*Pilot { return m.pilots }
 
-// Routed returns how many tasks each pilot received.
+// PilotAt returns the pilot currently occupying routing slot i (the
+// chaos driver's lookup: after a failover relaunch the slot holds the
+// replacement).
+func (m *MultiRuntime) PilotAt(i int) *Pilot {
+	if i < 0 || i >= len(m.pilots) {
+		return nil
+	}
+	return m.pilots[i]
+}
+
+// Routed returns how many tasks each pilot slot received.
 func (m *MultiRuntime) Routed() []int { return append([]int(nil), m.routed...) }
+
+// InFlightCores returns the core-width submitted but not yet completed
+// per slot (for tests and balance inspection).
+func (m *MultiRuntime) InFlightCores() []int { return append([]int(nil), m.inflight...) }
 
 // Now returns the shared virtual time.
 func (m *MultiRuntime) Now() float64 { return m.proc.Now() }
 
-// Cores returns the aggregate core count across all pilots.
+// Cores returns the aggregate current core count across all pilots.
 func (m *MultiRuntime) Cores() int {
 	n := 0
 	for _, pl := range m.pilots {
@@ -75,35 +126,82 @@ func (m *MultiRuntime) Cores() int {
 	return n
 }
 
-// Submit routes the task to the pilot whose relative assigned load
-// (submitted core-width over capacity) would stay lowest, so work is
-// spread proportionally to each machine's allocation. Tasks wider than
-// some pilots are only routed to pilots that fit them. Expired pilots
-// are replaced in place when Failover is set and skipped otherwise; if
-// every candidate pilot has expired the task is submitted to the
-// least-loaded expired one and fails fast with ErrPilotExpired, which
-// the scheduler's resubmission cap converts into replica drops.
+// decayTau returns the configured or default decay constant.
+func (m *MultiRuntime) decayTau() float64 {
+	if m.LoadDecayTau > 0 {
+		return m.LoadDecayTau
+	}
+	return DefaultLoadDecayTau
+}
+
+// affinityBonus returns the configured or default staging-affinity
+// discount (0 when disabled).
+func (m *MultiRuntime) affinityBonus() float64 {
+	switch {
+	case m.AffinityBonus > 0:
+		return m.AffinityBonus
+	case m.AffinityBonus < 0:
+		return 0
+	default:
+		return DefaultAffinityBonus
+	}
+}
+
+// decayedRecent folds the elapsed-time decay into slot i's completed
+// work estimate and returns it.
+func (m *MultiRuntime) decayedRecent(i int) float64 {
+	now := m.proc.Now()
+	if dt := now - m.recentAt[i]; dt > 0 {
+		m.recent[i] *= math.Exp(-dt / m.decayTau())
+		m.recentAt[i] = now
+	}
+	return m.recent[i]
+}
+
+// RecentLoad returns slot i's decayed completed-work estimate in
+// core-width units (for tests and balance inspection).
+func (m *MultiRuntime) RecentLoad(i int) float64 { return m.decayedRecent(i) }
+
+// Submit routes the task to the pilot whose relative load — in-flight
+// core-width plus the decaying completed-work estimate, over current
+// capacity, minus the staging-affinity discount when the pilot last ran
+// this replica — would stay lowest. Tasks wider than a pilot are only
+// routed to pilots that fit them. Expired and draining pilots are
+// replaced in place when Failover is set and skipped otherwise; if no
+// live candidate remains the task is submitted to the least-loaded dead
+// one and fails fast, which the scheduler's resubmission cap converts
+// into replica drops.
 func (m *MultiRuntime) Submit(s *task.Spec) task.Handle {
 	best, bestLoad := -1, 0.0
 	bestAny, bestAnyLoad := -1, 0.0 // fallback incl. expired pilots
+	bonus := m.affinityBonus()
 	for i := range m.pilots {
 		pl := m.pilots[i]
-		if s.Cores > pl.Cores() {
-			continue
-		}
-		if pl.Expired() && m.Failover {
+		if m.Failover && (pl.Expired() || pl.Draining()) && s.Cores <= pl.desc.Cores {
 			if npl, err := Launch(pl.cl, pl.desc); err == nil {
+				m.retired = append(m.retired, ownedPilot{pl: pl, label: i})
 				m.pilots[i] = npl
-				m.assignedCores[i] = 0
 				m.relaunched++
 				pl = npl
 			}
 		}
-		load := float64(m.assignedCores[i]+s.Cores) / float64(pl.Cores())
+		// Fit against the nominal size for dead pilots (fail-fast
+		// fallback) and the current size for live ones.
+		if s.Cores > pl.desc.Cores && s.Cores > pl.Cores() {
+			continue
+		}
+		capacity := pl.Cores()
+		if capacity <= 0 {
+			capacity = pl.desc.Cores
+		}
+		load := (float64(m.inflight[i]) + m.decayedRecent(i) + float64(s.Cores)) / float64(capacity)
+		if bonus > 0 && m.lastPilot[s.ReplicaID] == pl {
+			load -= bonus
+		}
 		if bestAny < 0 || load < bestAnyLoad {
 			bestAny, bestAnyLoad = i, load
 		}
-		if pl.Expired() {
+		if pl.Expired() || pl.Draining() || s.Cores > pl.Cores() {
 			continue
 		}
 		if best < 0 || load < bestLoad {
@@ -116,17 +214,47 @@ func (m *MultiRuntime) Submit(s *task.Spec) task.Handle {
 	if best < 0 {
 		panic(fmt.Sprintf("pilot: task %q (%d cores) fits no pilot", s.Name, s.Cores))
 	}
-	m.routed[best]++
-	m.assignedCores[best] += s.Cores
-	u := m.pilots[best].SubmitUnit(s)
+	slot := best
+	pl := m.pilots[slot]
+	m.routed[slot]++
+	m.inflight[slot] += s.Cores
+	u := pl.SubmitUnit(s)
 	// Stamp the routing decision for the flight recorder (race-free:
 	// the unit's process starts only after the orchestrator yields).
-	u.res.Pilot = best
+	u.res.Pilot = slot
+	// Completion callback: settle the in-flight width, feed the decayed
+	// completed-work estimate, and remember the replica's last home for
+	// staging affinity (successful runs only — a killed unit left no
+	// usable outputs behind). unitStream.watch composes around it.
+	u.onDone = func(u *Unit) {
+		m.inflight[slot] -= s.Cores
+		if u.res.Err == nil {
+			m.recent[slot] = m.decayedRecent(slot) + float64(s.Cores)
+			m.lastPilot[s.ReplicaID] = pl
+		}
+	}
 	return u
 }
 
 // Relaunched reports how many replacement pilots failover has launched.
 func (m *MultiRuntime) Relaunched() int { return m.relaunched }
+
+// DrainResourceEvents returns and clears buffered pilot lifecycle
+// events across current and retired pilots, stamped with their routing
+// slot and merged into occurrence order (task.ResourceReporter).
+func (m *MultiRuntime) DrainResourceEvents() []task.ResourceEvent {
+	ev, kept := drainOwned(m.retired)
+	m.retired = kept
+	for i, pl := range m.pilots {
+		pe := pl.TakeEvents()
+		for j := range pe {
+			pe[j].Pilot = i
+		}
+		ev = append(ev, pe...)
+	}
+	sortResourceEvents(ev)
+	return ev
+}
 
 // Await blocks the orchestrator until the unit finishes.
 func (m *MultiRuntime) Await(h task.Handle) task.Result {
@@ -183,4 +311,7 @@ func (m *MultiRuntime) BusyCoreSeconds() float64 {
 	return s
 }
 
-var _ task.Runtime = (*MultiRuntime)(nil)
+var (
+	_ task.Runtime          = (*MultiRuntime)(nil)
+	_ task.ResourceReporter = (*MultiRuntime)(nil)
+)

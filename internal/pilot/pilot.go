@@ -46,6 +46,24 @@ var ErrTaskFailed = errors.New("pilot: task failed (injected fault)")
 // charging the replica's fault budget) rather than a task failure.
 var ErrPilotExpired = fmt.Errorf("pilot: walltime expired: %w", task.ErrResourceLost)
 
+// ErrPilotPreempted is the error recorded on units killed when a
+// preemption notice's window runs out, and on submissions a draining
+// pilot refuses. Like ErrPilotExpired it wraps task.ErrResourceLost.
+var ErrPilotPreempted = fmt.Errorf("pilot: preempted: %w", task.ErrResourceLost)
+
+// ErrNodeLost is the error recorded on units killed by a node failing
+// inside a live allocation (LoseCores). The pilot itself survives,
+// smaller; only the units on the lost cores fail. Wraps
+// task.ErrResourceLost.
+var ErrNodeLost = fmt.Errorf("pilot: node lost: %w", task.ErrResourceLost)
+
+// ErrNoCapacity is the error recorded on units whose core request can
+// never be satisfied by the pilot's *current* core count (after node
+// losses or shrinking resizes). Wraps task.ErrResourceLost so the
+// scheduler resubmits — under a multi-pilot runtime the resubmission
+// routes to a pilot that still fits the task.
+var ErrNoCapacity = fmt.Errorf("pilot: task wider than remaining cores: %w", task.ErrResourceLost)
+
 // State is the compute-unit lifecycle state.
 type State int
 
@@ -102,9 +120,26 @@ type Pilot struct {
 	launcher *sim.Resource
 	active   *sim.Completion
 	alloc    *cluster.Allocation
-	// expiry fires when the walltime runs out; nil for unbounded pilots.
+	// expiry fires when the pilot terminates (walltime, preemption
+	// deadline or full node loss); nil for unbounded pilots that were
+	// never preempted.
 	expiry  *sim.Completion
 	expired bool
+	// expireErr records why the pilot ended (ErrPilotExpired,
+	// ErrPilotPreempted or ErrNodeLost).
+	expireErr error
+	// curCores is the pilot's current core count: desc.Cores minus node
+	// losses and shrinks, plus elastic grows.
+	curCores int
+	// draining is set by a preemption notice: no new submissions, units
+	// already in flight run until the notice window closes.
+	draining bool
+	// running lists units currently holding cores, oldest first; node
+	// loss kills from the tail (newest first).
+	running []*Unit
+	// events buffers resource lifecycle changes until a runtime drains
+	// them (task.ResourceReporter).
+	events []task.ResourceEvent
 
 	unitsSubmitted int
 	unitsDone      int
@@ -118,6 +153,12 @@ type Unit struct {
 	state State
 	res   task.Result
 	done  *sim.Completion
+	// interrupt fires to kill this unit mid-flight, carrying the cause
+	// (walltime expiry, preemption deadline, node loss). Awaiting it
+	// with a timeout is the unit's execution sleep: for an unmolested
+	// unit it schedules exactly the one timeout event a plain Sleep
+	// would, so elastic pilots cost nothing on the happy path.
+	interrupt *sim.Completion
 	// onDone, when set, is invoked by the unit's lifecycle process right
 	// after the unit reaches DONE or FAILED; the runtimes use it to feed
 	// their completion streams (one callback per completion: O(1)).
@@ -157,12 +198,11 @@ func Launch(cl *cluster.Cluster, desc Description) (*Pilot, error) {
 		env:      env,
 		cl:       cl,
 		desc:     desc,
+		curCores: desc.Cores,
 		cores:    sim.NewResource(env, desc.Cores),
 		launcher: sim.NewResource(env, 1),
 		active:   sim.NewCompletion(env),
-	}
-	if desc.Walltime > 0 {
-		pl.expiry = sim.NewCompletion(env)
+		expiry:   sim.NewCompletion(env),
 	}
 	env.Go(fmt.Sprintf("pilot-%s", cl.Config().Name), func(p *sim.Proc) {
 		alloc, err := cl.Allocate(p, desc.Cores)
@@ -171,25 +211,171 @@ func Launch(cl *cluster.Cluster, desc Description) (*Pilot, error) {
 			return
 		}
 		pl.alloc = alloc
+		pl.record(task.ResourceLaunch, desc.Cores, 0)
 		pl.active.Complete(nil)
-		if pl.expiry != nil {
+		if desc.Walltime > 0 {
 			// Walltime watchdog: the batch system reclaims the
-			// allocation that many seconds after it became active.
-			p.Sleep(desc.Walltime)
-			pl.expired = true
-			pl.expiry.Complete(ErrPilotExpired)
-			pl.alloc.Release()
+			// allocation that many seconds after it became active —
+			// unless preemption or a full node loss terminated the
+			// pilot first (expiry fires, the wait returns early).
+			if !pl.expiry.AwaitTimeout(p, desc.Walltime) {
+				pl.expire(ErrPilotExpired)
+			}
 		}
 	})
 	return pl, nil
 }
 
+// record buffers one resource lifecycle event at the current time.
+func (pl *Pilot) record(kind string, delta int, notice float64) {
+	pl.events = append(pl.events, task.ResourceEvent{
+		At:     pl.env.Now(),
+		Kind:   kind,
+		Cores:  pl.curCores,
+		Delta:  delta,
+		Notice: notice,
+	})
+}
+
+// TakeEvents returns and clears the buffered resource lifecycle events
+// in occurrence order. The Pilot field is zero; the owning runtime
+// stamps its routing slot or failover generation.
+func (pl *Pilot) TakeEvents() []task.ResourceEvent {
+	ev := pl.events
+	pl.events = nil
+	return ev
+}
+
+// expire terminates the pilot with the given cause: executing units are
+// interrupted, the machine allocation is released and future
+// submissions fail fast. Idempotent — the first cause wins.
+func (pl *Pilot) expire(err error) {
+	if pl.expired {
+		return
+	}
+	pl.expired = true
+	pl.expireErr = err
+	if pl.expiry != nil && !pl.expiry.Done() {
+		pl.expiry.Complete(err)
+	}
+	for _, u := range pl.running {
+		if !u.interrupt.Done() {
+			u.interrupt.Complete(err)
+		}
+	}
+	if pl.alloc != nil {
+		pl.alloc.Release()
+	}
+	delta := -pl.curCores
+	pl.curCores = 0
+	pl.record(task.ResourceExpire, delta, 0)
+}
+
+// LoseCores models a node failure inside the live allocation: the pilot
+// shrinks by n cores instead of dying. Units on the lost cores (newest
+// first) fail with ErrNodeLost; everything else keeps running on the
+// smaller pilot. Losing every remaining core terminates the pilot.
+// Returns the cores actually removed (0 before activation or after
+// expiry).
+func (pl *Pilot) LoseCores(n int) int {
+	if n <= 0 || pl.expired || pl.alloc == nil {
+		return 0
+	}
+	if n >= pl.curCores {
+		// Losing every remaining core: the expire event carries the drop.
+		n = pl.curCores
+		pl.expire(ErrNodeLost)
+		return n
+	}
+	pl.curCores -= n
+	pl.cores.SetCapacity(pl.curCores)
+	// Kill newest units until the held cores fit the shrunk capacity.
+	// InUse only drops when the interrupted unit processes wake and
+	// release, so track the excess locally.
+	excess := pl.cores.InUse() - pl.curCores
+	for i := len(pl.running) - 1; i >= 0 && excess > 0; i-- {
+		u := pl.running[i]
+		if u.interrupt.Done() {
+			continue
+		}
+		u.interrupt.Complete(ErrNodeLost)
+		excess -= u.spec.Cores
+	}
+	pl.alloc.ReleasePartial(n)
+	pl.record(task.ResourceShrink, -n, 0)
+	return n
+}
+
+// Preempt delivers a spot-style preemption notice: the pilot stops
+// accepting submissions immediately (Draining), lets in-flight units
+// run for up to notice virtual seconds, then expires with
+// ErrPilotPreempted — killing whatever did not finish in the window. A
+// non-positive notice expires the pilot immediately. No-op before
+// activation, after expiry, or when a notice is already pending.
+func (pl *Pilot) Preempt(notice float64) {
+	if pl.expired || pl.draining || pl.alloc == nil {
+		return
+	}
+	pl.draining = true
+	pl.record(task.ResourcePreempt, 0, notice)
+	if notice <= 0 {
+		pl.expire(ErrPilotPreempted)
+		return
+	}
+	pl.env.Go(fmt.Sprintf("pilot-%s-preempt", pl.cl.Config().Name), func(p *sim.Proc) {
+		// Race the notice window against other terminations (walltime);
+		// expire is idempotent, so whichever fires first wins.
+		if !pl.expiry.AwaitTimeout(p, notice) {
+			pl.expire(ErrPilotPreempted)
+		}
+	})
+}
+
+// Resize changes the pilot's core count by delta. Growing acquires
+// cores from the machine without queueing (failing if none are free);
+// shrinking is graceful — capacity drops and over-committed cores drain
+// as units finish, no unit is killed — and is clamped to keep at least
+// one core (use LoseCores or Preempt to end a pilot). Returns the
+// signed change actually applied.
+func (pl *Pilot) Resize(delta int) int {
+	if delta == 0 || pl.expired || pl.alloc == nil {
+		return 0
+	}
+	if delta > 0 {
+		if !pl.alloc.Grow(delta) {
+			return 0
+		}
+		pl.curCores += delta
+		pl.cores.SetCapacity(pl.curCores)
+		pl.record(task.ResourceResize, delta, 0)
+		return delta
+	}
+	n := -delta
+	if n >= pl.curCores {
+		n = pl.curCores - 1
+	}
+	if n <= 0 {
+		return 0
+	}
+	pl.curCores -= n
+	pl.cores.SetCapacity(pl.curCores)
+	pl.alloc.ReleasePartial(n)
+	pl.record(task.ResourceResize, -n, 0)
+	return -n
+}
+
+// Draining reports whether a preemption notice is pending: the pilot
+// still runs in-flight units but refuses new submissions.
+func (pl *Pilot) Draining() bool { return pl.draining && !pl.expired }
+
 // Active returns the completion fired when the pilot's allocation becomes
 // active (after the batch queue wait).
 func (pl *Pilot) Active() *sim.Completion { return pl.active }
 
-// Cores returns the pilot's core count.
-func (pl *Pilot) Cores() int { return pl.desc.Cores }
+// Cores returns the pilot's *current* core count: the launched size
+// minus node losses and shrinks, plus elastic grows (0 once expired).
+// Description().Cores keeps the nominal launched size.
+func (pl *Pilot) Cores() int { return pl.curCores }
 
 // CoresInUse returns cores currently held by executing units.
 func (pl *Pilot) CoresInUse() int { return pl.cores.InUse() }
@@ -235,7 +421,12 @@ func (pl *Pilot) SubmitUnit(spec *task.Spec) *Unit {
 		panic(fmt.Sprintf("pilot: task %q wants %d cores, pilot has %d",
 			spec.Name, spec.Cores, pl.desc.Cores))
 	}
-	u := &Unit{spec: spec, state: StateNew, done: sim.NewCompletion(pl.env)}
+	u := &Unit{
+		spec:      spec,
+		state:     StateNew,
+		done:      sim.NewCompletion(pl.env),
+		interrupt: sim.NewCompletion(pl.env),
+	}
 	u.res.Spec = spec
 	pl.unitsSubmitted++
 	pl.env.Go("unit:"+spec.Name, func(p *sim.Proc) { pl.runUnit(p, u) })
@@ -255,18 +446,43 @@ func (pl *Pilot) failUnit(p *sim.Proc, u *Unit, err error) {
 	u.notifyDone()
 }
 
-// sleepOrExpire sleeps d virtual seconds, returning true early if the
-// pilot's walltime expires first (the batch system kills the unit
-// mid-execution).
-func (pl *Pilot) sleepOrExpire(p *sim.Proc, d float64) bool {
-	if pl.expiry == nil {
-		p.Sleep(d)
-		return false
+// sleepOrInterrupt sleeps d virtual seconds on the unit's own
+// interrupt latch, returning the kill cause if the unit is interrupted
+// first (walltime, preemption deadline or node loss) and nil if the
+// sleep completes.
+func (pl *Pilot) sleepOrInterrupt(p *sim.Proc, u *Unit, d float64) error {
+	if u.interrupt.Done() {
+		return u.interrupt.Err()
+	}
+	if u.interrupt.AwaitTimeout(p, d) {
+		return u.interrupt.Err()
+	}
+	return nil
+}
+
+// killErr returns the error a unit holding cores should fail with right
+// now: its own interrupt's cause, the pilot's termination cause, or nil.
+func (pl *Pilot) killErr(u *Unit) error {
+	if u.interrupt.Done() {
+		return u.interrupt.Err()
 	}
 	if pl.expired {
-		return true
+		return pl.expireErr
 	}
-	return pl.expiry.AwaitTimeout(p, d)
+	return nil
+}
+
+// releaseUnit returns the unit's cores and removes it from the running
+// list (idempotent on the list: expire/LoseCores may already have
+// dropped interest in it).
+func (pl *Pilot) releaseUnit(u *Unit) {
+	pl.cores.Release(u.spec.Cores)
+	for i, r := range pl.running {
+		if r == u {
+			pl.running = append(pl.running[:i], pl.running[i+1:]...)
+			break
+		}
+	}
 }
 
 // runUnit drives one unit through its lifecycle on process p.
@@ -280,7 +496,12 @@ func (pl *Pilot) runUnit(p *sim.Proc, u *Unit) {
 		return
 	}
 	if pl.expired {
-		pl.failUnit(p, u, ErrPilotExpired)
+		pl.failUnit(p, u, pl.expireErr)
+		return
+	}
+	if pl.draining {
+		// A pilot under preemption notice accepts no new work.
+		pl.failUnit(p, u, ErrPilotPreempted)
 		return
 	}
 
@@ -289,17 +510,28 @@ func (pl *Pilot) runUnit(p *sim.Proc, u *Unit) {
 	u.res.StageIn = pl.cl.StageFiles(p, u.spec.InFiles, u.spec.InBytes)
 
 	// SCHEDULING: wait for cores within the pilot. A unit that was still
-	// queued when the walltime ran out dies with the pilot (other units'
-	// failures release their cores, so queued waiters always wake).
+	// queued when the pilot terminated dies with it (other units'
+	// failures release their cores, so queued waiters always wake); a
+	// unit wider than the post-shrink capacity is aborted rather than
+	// left queued forever.
 	u.state = StateScheduling
 	t0 := p.Now()
-	pl.cores.Acquire(p, u.spec.Cores)
+	if !pl.cores.AcquireAbortable(p, u.spec.Cores) {
+		u.res.CoreWait = p.Now() - t0
+		err := ErrNoCapacity
+		if pl.expired {
+			err = pl.expireErr
+		}
+		pl.failUnit(p, u, err)
+		return
+	}
 	u.res.CoreWait = p.Now() - t0
 	if pl.expired {
 		pl.cores.Release(u.spec.Cores)
-		pl.failUnit(p, u, ErrPilotExpired)
+		pl.failUnit(p, u, pl.expireErr)
 		return
 	}
+	pl.running = append(pl.running, u)
 
 	// Launch: serialized through the agent launcher, plus fixed latency.
 	// Units that had to wait for cores (second and later waves in
@@ -321,9 +553,9 @@ func (pl *Pilot) runUnit(p *sim.Proc, u *Unit) {
 	pl.launcher.Release(1)
 	p.Sleep(cfg.LaunchLatency)
 	u.res.Launch = p.Now() - t1
-	if pl.expired {
-		pl.cores.Release(u.spec.Cores)
-		pl.failUnit(p, u, ErrPilotExpired)
+	if err := pl.killErr(u); err != nil {
+		pl.releaseUnit(u)
+		pl.failUnit(p, u, err)
 		return
 	}
 
@@ -332,27 +564,26 @@ func (pl *Pilot) runUnit(p *sim.Proc, u *Unit) {
 	d := pl.cl.ScaleDuration(u.spec.Duration)
 	failed := u.spec.CanFail && pl.cl.TaskFails()
 	if failed {
-		// Fail partway through the run (unless the walltime kills the
-		// unit first).
-		expired := pl.sleepOrExpire(p, d/2)
+		// Fail partway through the run (unless the pilot's termination
+		// or a node loss kills the unit first).
+		ierr := pl.sleepOrInterrupt(p, u, d/2)
 		u.res.Exec = p.Now() - t1 - u.res.Launch
-		pl.cores.Release(u.spec.Cores)
+		pl.releaseUnit(u)
 		err := ErrTaskFailed
-		if expired {
-			err = ErrPilotExpired
+		if ierr != nil {
+			err = ierr
 		}
 		pl.failUnit(p, u, err)
 		return
 	}
 	t2 := p.Now()
-	expired := pl.sleepOrExpire(p, d)
+	ierr := pl.sleepOrInterrupt(p, u, d)
 	u.res.Exec = p.Now() - t2
-	if expired {
-		pl.cores.Release(u.spec.Cores)
-		pl.failUnit(p, u, ErrPilotExpired)
+	pl.releaseUnit(u)
+	if ierr != nil {
+		pl.failUnit(p, u, ierr)
 		return
 	}
-	pl.cores.Release(u.spec.Cores)
 
 	// STAGING_OUT.
 	u.state = StateStagingOut
@@ -382,8 +613,16 @@ func newUnitStream(proc *sim.Proc) *unitStream {
 	return &unitStream{proc: proc, arrivals: sim.NewSignal(proc.Env())}
 }
 
-// watch registers a unit for stream delivery on completion.
+// watch registers a unit for stream delivery on completion, composing
+// around any accounting callback the runtime installed at submission.
 func (s *unitStream) watch(u *Unit) {
+	if prev := u.onDone; prev != nil {
+		u.onDone = func(u *Unit) {
+			prev(u)
+			s.enqueue(u)
+		}
+		return
+	}
 	u.onDone = s.enqueue
 }
 
@@ -435,11 +674,59 @@ type Runtime struct {
 	// relaunch, when set, replaces an expired pilot on demand.
 	relaunch   func() (*Pilot, error)
 	relaunched int
+	// owned tracks every pilot incarnation with its failover generation,
+	// so resource events from retired pilots (the expire after a
+	// preemption drain) are still delivered by DrainResourceEvents.
+	owned []ownedPilot
+}
+
+// ownedPilot pairs a pilot incarnation with the label its resource
+// events are stamped with: the failover generation under Runtime, the
+// routing slot under MultiRuntime.
+type ownedPilot struct {
+	pl    *Pilot
+	label int
+}
+
+// drainOwned collects and clears buffered resource events across pilot
+// incarnations/slots, stamping each event with its pilot's label and
+// merging into occurrence order. Fully-drained expired pilots are
+// dropped from the list so a long run cannot accumulate dead pilots.
+func drainOwned(owned []ownedPilot) ([]task.ResourceEvent, []ownedPilot) {
+	var out []task.ResourceEvent
+	kept := owned[:0]
+	for _, o := range owned {
+		ev := o.pl.TakeEvents()
+		for i := range ev {
+			ev[i].Pilot = o.label
+		}
+		out = append(out, ev...)
+		if !o.pl.Expired() {
+			kept = append(kept, o)
+		}
+	}
+	sortResourceEvents(out)
+	return out, kept
+}
+
+// sortResourceEvents stable-sorts by event time (insertion sort: the
+// per-drain batches are tiny and already near-sorted).
+func sortResourceEvents(ev []task.ResourceEvent) {
+	for i := 1; i < len(ev); i++ {
+		for j := i; j > 0 && ev[j].At < ev[j-1].At; j-- {
+			ev[j], ev[j-1] = ev[j-1], ev[j]
+		}
+	}
 }
 
 // NewRuntime binds a pilot to an orchestrator process.
 func NewRuntime(pl *Pilot, proc *sim.Proc) *Runtime {
-	return &Runtime{pl: pl, proc: proc, stream: newUnitStream(proc)}
+	return &Runtime{
+		pl:     pl,
+		proc:   proc,
+		stream: newUnitStream(proc),
+		owned:  []ownedPilot{{pl: pl, label: 0}},
+	}
 }
 
 // NewFailoverRuntime launches a pilot from desc on cl and binds it to
@@ -461,12 +748,14 @@ func (r *Runtime) Pilot() *Pilot { return r.pl }
 // Relaunched reports how many replacement pilots failover has launched.
 func (r *Runtime) Relaunched() int { return r.relaunched }
 
-// ensurePilot replaces an expired pilot before a submission when
-// failover is configured. If the replacement launch fails the expired
-// pilot is kept: submissions then fail fast with ErrPilotExpired and the
-// scheduler's resubmission cap converts that into replica drops.
+// ensurePilot replaces an expired or draining pilot before a submission
+// when failover is configured — a preemption notice triggers the
+// replacement launch immediately, overlapping the new batch-queue wait
+// with the old pilot's drain window. If the replacement launch fails
+// the old pilot is kept: submissions then fail fast and the scheduler's
+// resubmission cap converts that into replica drops.
 func (r *Runtime) ensurePilot() {
-	if r.relaunch == nil || !r.pl.Expired() {
+	if r.relaunch == nil || !(r.pl.Expired() || r.pl.Draining()) {
 		return
 	}
 	pl, err := r.relaunch()
@@ -475,6 +764,16 @@ func (r *Runtime) ensurePilot() {
 	}
 	r.pl = pl
 	r.relaunched++
+	r.owned = append(r.owned, ownedPilot{pl: pl, label: r.relaunched})
+}
+
+// DrainResourceEvents returns and clears buffered pilot lifecycle
+// events across every incarnation, stamped with the failover
+// generation (task.ResourceReporter).
+func (r *Runtime) DrainResourceEvents() []task.ResourceEvent {
+	ev, kept := drainOwned(r.owned)
+	r.owned = kept
+	return ev
 }
 
 // Now returns the virtual time.
@@ -543,4 +842,7 @@ func (r *Runtime) Overhead(d float64) {
 	r.proc.Sleep(d)
 }
 
-var _ task.Runtime = (*Runtime)(nil)
+var (
+	_ task.Runtime          = (*Runtime)(nil)
+	_ task.ResourceReporter = (*Runtime)(nil)
+)

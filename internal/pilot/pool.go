@@ -65,11 +65,33 @@ func (p *Pool) Release(cores int) {
 	p.mu.Unlock()
 }
 
+// Resize changes the pool's total core budget. Shrinking below the
+// currently reserved cores is allowed: running runs keep their
+// reservation and the pool is over-committed until they release —
+// admission of new runs simply re-checks against the smaller total.
+// Resizing the unbounded nil pool or to a non-positive total is an
+// error (an unbounded pool cannot become bounded retroactively: nil
+// was shared by value).
+func (p *Pool) Resize(total int) error {
+	if p == nil {
+		return errors.New("pilot: cannot resize the unbounded pool")
+	}
+	if total <= 0 {
+		return fmt.Errorf("pilot: pool total must be positive, got %d", total)
+	}
+	p.mu.Lock()
+	p.total = total
+	p.mu.Unlock()
+	return nil
+}
+
 // Total returns the pool's core budget (0 for the unbounded nil pool).
 func (p *Pool) Total() int {
 	if p == nil {
 		return 0
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	return p.total
 }
 

@@ -59,6 +59,43 @@ func TestPoolInvalidAcquire(t *testing.T) {
 	}
 }
 
+func TestPoolResize(t *testing.T) {
+	p := NewPool(16)
+	if err := p.Acquire(12); err != nil {
+		t.Fatal(err)
+	}
+	// Shrinking below the reservation over-commits instead of revoking.
+	if err := p.Resize(8); err != nil {
+		t.Fatal(err)
+	}
+	if p.Total() != 8 || p.Used() != 12 {
+		t.Fatalf("total %d used %d after shrink, want 8/12 (over-committed)", p.Total(), p.Used())
+	}
+	if err := p.Acquire(1); !errors.Is(err, ErrPoolExhausted) {
+		t.Fatalf("acquire on an over-committed pool returned %v, want ErrPoolExhausted", err)
+	}
+	p.Release(12)
+	if err := p.Acquire(8); err != nil {
+		t.Fatalf("exact fit against the new total failed: %v", err)
+	}
+	p.Release(8)
+	// Growing admits what the old total refused.
+	if err := p.Resize(32); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Acquire(24); err != nil {
+		t.Fatalf("acquire after grow failed: %v", err)
+	}
+	// Invalid resizes.
+	if err := p.Resize(0); err == nil {
+		t.Fatal("Resize(0) accepted")
+	}
+	var nilPool *Pool
+	if err := nilPool.Resize(8); err == nil {
+		t.Fatal("resizing the unbounded pool accepted")
+	}
+}
+
 // Admission must stay consistent under concurrent runs acquiring and
 // releasing: never more than total reserved, bookkeeping exact.
 func TestPoolConcurrent(t *testing.T) {

@@ -1,0 +1,70 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+func patchPool(t *testing.T, base, body string) (serve.PoolStatus, int) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPatch, base+"/pool", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ps serve.PoolStatus
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&ps); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ps, resp.StatusCode
+}
+
+func TestPoolResizeEndpoint(t *testing.T) {
+	_, ts := newDaemon(t, 16, 0)
+
+	// Shrink below a launch's request: admission re-checks the new total.
+	ps, code := patchPool(t, ts.URL, `{"total_cores": 4}`)
+	if code != http.StatusOK || ps.TotalCores != 4 {
+		t.Fatalf("PATCH /pool: code %d, status %+v", code, ps)
+	}
+	if _, code := postRun(t, ts.URL, launchBody(simBody("toobig", 8, 2, 1), resBody8, "")); code != http.StatusTooManyRequests {
+		t.Fatalf("launch against the shrunk pool: code %d, want 429", code)
+	}
+
+	// Grow back: the same launch now fits.
+	if ps, code := patchPool(t, ts.URL, `{"total_cores": 24}`); code != http.StatusOK || ps.TotalCores != 24 {
+		t.Fatalf("PATCH /pool grow: code %d, status %+v", code, ps)
+	}
+	st, code := postRun(t, ts.URL, launchBody(simBody("fits", 8, 2, 1), resBody8, ""))
+	if code != http.StatusCreated {
+		t.Fatalf("launch against the grown pool: code %d, want 201", code)
+	}
+	waitFor(t, ts.URL, st.ID, func(s serve.RunStatus) bool { return terminal(s.State) }, "terminal state")
+
+	// Malformed bodies and impossible totals are rejected.
+	if _, code := patchPool(t, ts.URL, `{`); code != http.StatusBadRequest {
+		t.Fatalf("malformed PATCH /pool body: code %d, want 400", code)
+	}
+	if _, code := patchPool(t, ts.URL, `{"total_cores": 0}`); code != http.StatusBadRequest {
+		t.Fatalf("PATCH /pool to zero: code %d, want 400", code)
+	}
+}
+
+func TestPoolResizeEndpointUnbounded(t *testing.T) {
+	// An unbounded daemon has no pool object to resize; the route says
+	// so instead of quietly creating a bound.
+	_, ts := newDaemon(t, 0, 0)
+	if _, code := patchPool(t, ts.URL, `{"total_cores": 8}`); code != http.StatusBadRequest {
+		t.Fatalf("PATCH /pool on an unbounded daemon: code %d, want 400", code)
+	}
+}

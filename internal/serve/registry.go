@@ -176,6 +176,7 @@ func NewRegistry(totalCores, maxRuns int) *Registry {
 	g.mux.HandleFunc("GET /runs/{id}/trace", g.perRun((*Server).handleTrace))
 	g.mux.HandleFunc("GET /runs/{id}/events", g.handleEvents)
 	g.mux.HandleFunc("GET /metrics", g.handleAggregateMetrics)
+	g.mux.HandleFunc("PATCH /pool", g.handlePoolResize)
 	g.mux.HandleFunc("GET /status", g.handleDaemonStatus)
 	g.mux.HandleFunc("GET /healthz", g.handleHealthz)
 	return g
@@ -347,6 +348,7 @@ func (g *Registry) Launch(l *config.Launch) (*Run, error) {
 			PilotCores:    ps.Cores,
 			PilotWalltime: ps.Walltime,
 			Pilots:        ps.Pilots,
+			Chaos:         ps.Chaos,
 			NewEngine: func(seed int64) core.Engine {
 				return engines.NewNamedVirtual(engine, atoms, seed)
 			},
@@ -495,6 +497,47 @@ func (g *Registry) handleCancel(w http.ResponseWriter, req *http.Request) {
 	run.Cancel()
 	w.WriteHeader(http.StatusAccepted)
 	writeJSON(w, run.fullStatus())
+}
+
+// PoolPatch is the PATCH /pool request body: the pool's new total core
+// budget.
+type PoolPatch struct {
+	TotalCores int `json:"total_cores"`
+}
+
+// PoolStatus is the PATCH /pool response: the pool after the resize.
+// Used may exceed Total right after a shrink — running runs keep their
+// reservation and the pool is over-committed until they release.
+type PoolStatus struct {
+	TotalCores int `json:"total_cores"`
+	UsedCores  int `json:"used_cores"`
+}
+
+// handlePoolResize resizes the shared admission pool while the daemon
+// runs (elastic allocations: the machine grew or shrank under us).
+// Admission of future launches re-checks against the new total; running
+// runs are never revoked.
+func (g *Registry) handlePoolResize(w http.ResponseWriter, req *http.Request) {
+	if g.pool == nil {
+		httpError(w, http.StatusBadRequest, "daemon runs with an unbounded pool; restart with -cores to bound it")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(req.Body, 1<<16))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var p PoolPatch
+	if err := json.Unmarshal(body, &p); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := g.pool.Resize(p.TotalCores); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	g.log.Info("pool resized", "total_cores", g.pool.Total(), "used_cores", g.pool.Used())
+	writeJSON(w, PoolStatus{TotalCores: g.pool.Total(), UsedCores: g.pool.Used()})
 }
 
 // perRun adapts one of the per-run Server handlers to a /runs/{id}/...

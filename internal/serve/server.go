@@ -432,6 +432,33 @@ func writeMetrics(b *strings.Builder, views []runView) {
 			func(f core.FeedbackDimStatus) float64 { return f.Integral })
 	}
 
+	counter("repex_preemptions_total", "Pilot preemption notices received.",
+		func(vw runView) uint64 { return vw.stats.Preemptions })
+
+	// Per-pilot core gauges, present only when some run published
+	// resource events (elastic runtimes); a quiet run with static pilots
+	// emits no pilot-core series (mirrors the feedback-family gating).
+	anyPilot := false
+	for _, vw := range views {
+		if len(vw.stats.PilotCores) > 0 {
+			anyPilot = true
+			break
+		}
+	}
+	if anyPilot {
+		family("repex_pilot_cores", "Current core count per pilot slot (0 once expired).", "gauge", func(vw runView) {
+			slots := make([]int, 0, len(vw.stats.PilotCores))
+			for slot := range vw.stats.PilotCores {
+				slots = append(slots, slot)
+			}
+			sort.Ints(slots)
+			for _, slot := range slots {
+				fmt.Fprintf(b, "repex_pilot_cores%s %d\n",
+					vw.lbl(fmt.Sprintf("pilot=\"%d\"", slot)), vw.stats.PilotCores[slot])
+			}
+		})
+	}
+
 	counter("repex_round_trips_total", "Completed ladder round trips over all replicas.",
 		func(vw runView) uint64 { return uint64(vw.stats.RoundTrips) })
 	gauge("repex_round_trip_events_mean", "Mean round-trip duration in exchange events.",

@@ -282,6 +282,10 @@ type resWaiter struct {
 	p       *Proc
 	n       int
 	granted *bool
+	// aborted is non-nil for AcquireAbortable waiters: a capacity shrink
+	// that makes the request permanently unsatisfiable sets it and wakes
+	// the waiter instead of leaving it queued forever.
+	aborted *bool
 }
 
 // NewResource returns a resource with the given capacity.
@@ -340,6 +344,30 @@ func (r *Resource) Acquire(p *Proc, n int) {
 	}
 }
 
+// AcquireAbortable blocks like Acquire but never deadlocks on an
+// oversized request: it reports false immediately when n exceeds the
+// current capacity, and false later if a capacity shrink (SetCapacity)
+// makes the queued request unsatisfiable. It reports true once the
+// units are held.
+func (r *Resource) AcquireAbortable(p *Proc, n int) bool {
+	if n <= 0 {
+		return true
+	}
+	if n > r.capacity {
+		return false
+	}
+	if len(r.queue) == 0 && r.used+n <= r.capacity {
+		r.take(n)
+		return true
+	}
+	granted, aborted := false, false
+	r.queue = append(r.queue, resWaiter{p: p, n: n, granted: &granted, aborted: &aborted})
+	for !granted && !aborted {
+		p.block()
+	}
+	return granted
+}
+
 // TryAcquire attempts to take n units without blocking and reports success.
 func (r *Resource) TryAcquire(n int) bool {
 	if n <= 0 {
@@ -371,6 +399,11 @@ func (r *Resource) Release(n int) {
 	if r.used < 0 {
 		panic("sim: resource release below zero")
 	}
+	r.grantQueued()
+}
+
+// grantQueued grants queued requests in FIFO order while they fit.
+func (r *Resource) grantQueued() {
 	for len(r.queue) > 0 {
 		w := r.queue[0]
 		if w.p.dead {
@@ -385,6 +418,37 @@ func (r *Resource) Release(n int) {
 		*w.granted = true
 		r.env.schedule(w.p, r.env.now)
 	}
+}
+
+// SetCapacity changes the capacity in place. Growing grants queued
+// requests that now fit (FIFO); shrinking leaves in-use units
+// untouched — the pool is simply over-committed until holders release —
+// and aborts queued AcquireAbortable requests wider than the new
+// capacity, since no sequence of releases could ever satisfy them.
+// Queued plain Acquire requests are never aborted: their callers hold
+// no abort path, so they stay queued (and a shrink below their width
+// leaves them blocked until a matching grow, mirroring Acquire's
+// capacity panic contract).
+func (r *Resource) SetCapacity(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("sim: negative resource capacity %d", n))
+	}
+	grew := n > r.capacity
+	r.capacity = n
+	if grew {
+		r.grantQueued()
+		return
+	}
+	keep := r.queue[:0]
+	for _, w := range r.queue {
+		if w.n > n && w.aborted != nil {
+			*w.aborted = true
+			r.env.schedule(w.p, r.env.now)
+			continue
+		}
+		keep = append(keep, w)
+	}
+	r.queue = keep
 }
 
 // ---------------------------------------------------------------------------

@@ -27,6 +27,50 @@ import (
 // own failure budget.
 var ErrResourceLost = errors.New("task: executing resource lost")
 
+// ResourceEvent records one lifecycle change of an executing resource:
+// a pilot becoming active, shrinking after a node loss, receiving a
+// preemption notice, resizing, or expiring. Runtimes that model elastic
+// resources buffer these and expose them through ResourceReporter so
+// the scheduler can publish them to its observability pipeline without
+// the runtime depending on it.
+type ResourceEvent struct {
+	// At is the runtime-clock time of the change.
+	At float64
+	// Pilot identifies the pilot, using the same numbering as
+	// Result.Pilot (routing slot or failover generation).
+	Pilot int
+	// Kind is one of the ResourceEvent* constants.
+	Kind string
+	// Cores is the pilot's core count after the change.
+	Cores int
+	// Delta is the signed core change (negative for losses).
+	Delta int
+	// Notice is the preemption notice window in seconds (preempt only).
+	Notice float64
+}
+
+// ResourceEvent kinds.
+const (
+	// ResourceLaunch: the pilot's allocation became active.
+	ResourceLaunch = "launch"
+	// ResourceShrink: node loss removed cores from a live pilot.
+	ResourceShrink = "shrink"
+	// ResourcePreempt: a preemption notice arrived; the pilot drains.
+	ResourcePreempt = "preempt"
+	// ResourceResize: an elastic resize changed the pilot's core count.
+	ResourceResize = "resize"
+	// ResourceExpire: the pilot ended (walltime, preemption or full loss).
+	ResourceExpire = "expire"
+)
+
+// ResourceReporter is implemented by runtimes that buffer
+// ResourceEvents. DrainResourceEvents returns and clears the buffered
+// events in occurrence order; it is called from the orchestrator
+// context like every other Runtime method.
+type ResourceReporter interface {
+	DrainResourceEvents() []ResourceEvent
+}
+
 // Kind classifies a task within a replica-exchange cycle.
 type Kind int
 

@@ -47,6 +47,9 @@ const (
 	// KindFault is one fault-handling action (relaunch, resource-lost
 	// resubmission, terminal drop, cancellation discard).
 	KindFault
+	// KindResource is one pilot lifecycle instant (launch, node-loss
+	// shrink, preemption notice, resize, expiry) on the pilot's track.
+	KindResource
 )
 
 // String names the kind.
@@ -66,6 +69,8 @@ func (k Kind) String() string {
 		return "controller"
 	case KindFault:
 		return "fault"
+	case KindResource:
+		return "resource"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -295,6 +300,13 @@ func Export(spans []Span) ([]byte, error) {
 				name = "checkpoint (" + sp.Label + ")"
 			}
 			emit(name, sp, pidRun, 0, map[string]any{"event": sp.Event})
+		case KindResource:
+			name := sp.Label
+			if name == "" {
+				name = "resource"
+			}
+			emit(name, sp, pidPilots, sp.Pilot,
+				map[string]any{"cores": sp.Pairs})
 		}
 	}
 

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Per-completion dispatcher cost: repetitions gated against the
+# committed median baseline by cmd/benchcheck (>15% median regression
+# fails; update BENCH_baseline.json in the same PR when intentional, or
+# when the runner class changes — absolute ns baselines are machine
+# specific; the ratio gates are not). Two runs share one stream: the
+# small legs at 10x for noise, the scaling legs (1024/4096 replicas,
+# the sharded-exchange pair) at 2x to keep the wall time bounded. The
+# 65536-replica leg (BenchmarkDispatcher64K) is opt-in via
+# REPEX_BENCH_64K and deliberately not gated.
+set -euo pipefail
+# shellcheck source=scripts/ci/lib.sh
+. "$(dirname "$0")/lib.sh"
+cd "$(repo_root)"
+
+go test -run '^$' -bench 'BenchmarkDispatcher$/^(64|256)$|BenchmarkDispatcherBus$|BenchmarkDispatcherTrace$' \
+  -benchtime 10x -count 5 -json . | tee BENCH_dispatcher.json
+go test -run '^$' -bench 'BenchmarkDispatcher$/^(1024|4096)$|BenchmarkExchangeSharding$' \
+  -benchtime 2x -count 5 -json . | tee -a BENCH_dispatcher.json
+go run ./cmd/benchcheck -baseline BENCH_baseline.json -bench BENCH_dispatcher.json

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Feedback-trigger smoke: the closed-loop policy end to end through the
+# config file, with the rolling-window acceptance gauge visible on
+# /metrics.
+set -euo pipefail
+# shellcheck source=scripts/ci/lib.sh
+. "$(dirname "$0")/lib.sh"
+cd "$(repo_root)"
+
+go build -o /tmp/repex ./cmd/repex
+/tmp/repex -sim configs/feedback_small.json \
+           -res configs/small_cluster_16.json \
+           -listen 127.0.0.1:9197 &
+pid=$!
+wait_http http://127.0.0.1:9197/status
+curl -fsS http://127.0.0.1:9197/status | tee /tmp/status_fb.json
+grep -q '"trigger": "feedback"' /tmp/status_fb.json
+wait_state http://127.0.0.1:9197 completed
+curl -fsS http://127.0.0.1:9197/metrics > /tmp/metrics_fb.txt
+grep -q '^# TYPE repex_acceptance_ratio_window gauge$' /tmp/metrics_fb.txt
+grep -Eq '^repex_acceptance_ratio_window\{dim="0",pair="0"\} [0-9.eE+-]+$' /tmp/metrics_fb.txt
+grep -Eq '^repex_acceptance_window_events [0-9]+$' /tmp/metrics_fb.txt
+# Per-dimension controller gauges: target and saturation (reachable
+# target, so the diagnostic must read 0).
+grep -Eq '^repex_feedback_target\{dim="0"\} 0\.35$' /tmp/metrics_fb.txt
+grep -Eq '^repex_feedback_saturated\{dim="0"\} 0$' /tmp/metrics_fb.txt
+stop "$pid"

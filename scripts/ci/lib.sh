@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Shared helpers for the CI smoke scripts (scripts/ci/*.sh). Each
+# script is standalone: it anchors itself at the repository root,
+# builds what it needs, and fails on the first broken assertion — the
+# same exit semantics locally and in the workflow.
+
+# repo_root prints the repository root (two levels above this file).
+repo_root() {
+  cd "$(dirname "${BASH_SOURCE[0]}")/../.." && pwd
+}
+
+# wait_http URL: polls until the URL answers 200 (10 s budget).
+wait_http() {
+  for _ in $(seq 1 50); do
+    if curl -fsS "$1" >/dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.2
+  done
+  echo "no answer from $1" >&2
+  return 1
+}
+
+# wait_state BASE STATE: polls BASE/status until the run reports the
+# wanted lifecycle state (20 s budget).
+wait_state() {
+  for _ in $(seq 1 100); do
+    if [ "$(curl -fsS "$1/status" 2>/dev/null | jq -r .state)" = "$2" ]; then
+      return 0
+    fi
+    sleep 0.2
+  done
+  echo "run never reached state $2; last status:" >&2
+  curl -fsS "$1/status" >&2 || true
+  return 1
+}
+
+# stop PID: SIGTERMs a smoke server and asserts it exits 0 — the
+# graceful shutdown path is part of what the smokes cover, so a drain
+# that hangs, panics or exits dirty must fail the script.
+stop() {
+  kill "$1"
+  local rc=0
+  wait "$1" || rc=$?
+  if [ "$rc" -ne 0 ]; then
+    echo "pid $1 exited $rc after SIGTERM, want 0" >&2
+    return 1
+  fi
+}
