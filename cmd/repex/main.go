@@ -64,6 +64,8 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"syscall"
 
@@ -73,6 +75,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/engines"
+	"repro/internal/respace"
 	"repro/internal/serve"
 	"repro/internal/trace"
 )
@@ -247,11 +250,11 @@ func run(simPath, resPath, resumePath, ckptPath string, ckptEvery int, listen, t
 		}()
 	}
 
-	// The event bus and collector power both the live endpoints and the
-	// checkpoint-embedded statistics; without either consumer the run
-	// stays bus-free.
+	// The event bus and collector power the live endpoints, the
+	// checkpoint-embedded statistics and the respace planner's measured
+	// acceptance profile; without any consumer the run stays bus-free.
 	var col *analysis.Collector
-	if listen != "" || ckptPath != "" {
+	if listen != "" || ckptPath != "" || spec.Respace != nil {
 		spec.Bus = core.NewBus()
 		colCfg := analysis.ConfigFromSpec(spec)
 		colCfg.WindowEvents = simFile.WindowEvents
@@ -273,12 +276,21 @@ func run(simPath, resPath, resumePath, ckptPath string, ckptEvery int, listen, t
 			}
 		}
 	}
+	// The respace planner re-fits saturated ladders from the collector's
+	// measured per-pair acceptance; ToSpec left the field nil because
+	// the collector did not exist yet.
+	if spec.Respace != nil {
+		spec.Respace.Planner = respace.NewPlanner(col)
+	}
 
 	triggerName := spec.TriggerName()
 	feedback, _ := spec.Trigger.(*core.FeedbackTrigger)
 
 	var state atomic.Value // core.RunState names: "pending" ... "cancelled"
 	state.Store("pending")
+	// The constructed simulation, stored by OnStart: the status closure
+	// and the final summary read its mutex-guarded respace accessors.
+	var simPtr atomic.Pointer[core.Simulation]
 	var runFailure atomic.Value
 	runFailure.Store("")
 	var server *serve.Server
@@ -301,6 +313,19 @@ func run(simPath, resPath, resumePath, ckptPath string, ckptEvery int, listen, t
 				// ControllerStatus is mutex-guarded inside the trigger,
 				// so the live scrape is race-free against the dispatcher.
 				st.Feedback = feedback.ControllerStatus()
+			}
+			if rs := spec.Respace; rs != nil {
+				respaceSt := &serve.RespaceStatus{
+					Enabled:    true,
+					AfterSteps: rs.AfterSteps,
+					MaxRefits:  rs.MaxRefits,
+				}
+				if sim := simPtr.Load(); sim != nil {
+					respaceSt.Refits = sim.RefitCounts()
+					respaceSt.Ladders = sim.LadderValues()
+					respaceSt.History = sim.RespaceHistory()
+				}
+				st.Respace = respaceSt
 			}
 			return st
 		})
@@ -355,7 +380,10 @@ func run(simPath, resPath, resumePath, ckptPath string, ckptEvery int, listen, t
 		},
 		Seed:    spec.Seed,
 		Context: ctx,
-		OnStart: func(*core.Simulation) { state.Store("running") },
+		OnStart: func(sim *core.Simulation) {
+			simPtr.Store(sim)
+			state.Store("running")
+		},
 	})
 	if errors.Is(err, core.ErrRunCancelled) {
 		state.Store("cancelled")
@@ -423,6 +451,12 @@ func run(simPath, resPath, resumePath, ckptPath string, ckptEvery int, listen, t
 			}
 		}
 	}
+	if sim := simPtr.Load(); sim != nil {
+		for _, rec := range sim.RespaceHistory() {
+			fmt.Printf("  RESPACED dim %d (refit %d) at event %d: %s -> %s\n",
+				rec.Dim, rec.Refit, rec.Event, fmtLadder(rec.Old), fmtLadder(rec.New))
+		}
+	}
 	if server != nil {
 		fmt.Println("run finished; still serving — interrupt (Ctrl-C) to exit")
 		ch := make(chan os.Signal, 1)
@@ -431,4 +465,14 @@ func run(simPath, resPath, resumePath, ckptPath string, ckptEvery int, listen, t
 		_ = server.Close()
 	}
 	return nil
+}
+
+// fmtLadder renders a value ladder compactly for the final summary,
+// e.g. "[273 278.5 … 373]".
+func fmtLadder(values []float64) string {
+	parts := make([]string, len(values))
+	for i, v := range values {
+		parts[i] = strconv.FormatFloat(v, 'g', 6, 64)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
 }

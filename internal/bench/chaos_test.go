@@ -7,9 +7,13 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/analysis"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/engines"
+	"repro/internal/exchange"
+	"repro/internal/pilot"
+	"repro/internal/respace"
 )
 
 // chaosParams loads the committed chaos configs (the pair the CI
@@ -148,6 +152,119 @@ func TestChaosSmallResume(t *testing.T) {
 	if resumed.SlotFingerprint != full.SlotFingerprint || resumed.SlotRows != full.SlotRows {
 		t.Fatalf("resumed chaos run diverged: %d rows %016x, uninterrupted %d rows %016x",
 			resumed.SlotRows, resumed.SlotFingerprint, full.SlotRows, full.SlotFingerprint)
+	}
+}
+
+// respaceChaosParams builds a feedback-trigger run over a deliberately
+// bunched T ladder (seven crowded rungs, one 70 K cliff) with online
+// respacing armed, running on the chaos-lane cluster. The returned
+// simPtr is filled by OnStart so the test can read the refit history
+// after the run.
+func respaceChaosParams(t *testing.T, chaos *pilot.ChaosPlan) (RunParams, **core.Simulation) {
+	t.Helper()
+	resData, err := os.ReadFile(filepath.Join("..", "..", "configs", "chaos_small.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine, ps, err := config.ParseResource(resData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := core.NewFeedbackTrigger(150)
+	// 0.9 is unreachable on this ladder at any window length (the cliff
+	// pair rejects nearly everything), so the controller saturates — the
+	// same scenario the saturation smoke scripts.
+	tr.Target = 0.9
+	tr.WindowEvents = 8
+	tr.SaturationSteps = 2
+	spec := &core.Spec{
+		Name:    "respace-chaos",
+		Dims:    []core.Dimension{{Type: exchange.Temperature, Values: []float64{273, 278, 283, 288, 293, 298, 303, 373}}},
+		Pattern: core.PatternAsynchronous,
+		Trigger: tr,
+		// relaunch keeps resource faults from consuming replica budgets,
+		// the same policy the committed chaos configs use implicitly.
+		FaultPolicy:     core.FaultRelaunch,
+		CoresPerReplica: 1,
+		StepsPerCycle:   6000,
+		Cycles:          16,
+		AsyncWindow:     150,
+		Seed:            33,
+	}
+	spec.Bus = core.NewBus()
+	col := analysis.New(analysis.ConfigFromSpec(spec))
+	col.Attach(spec.Bus, analysis.RunBuffer(spec))
+	spec.Respace = &core.RespaceSpec{AfterSteps: 2, MaxRefits: 2, Planner: respace.NewPlanner(col)}
+	simPtr := new(*core.Simulation)
+	return RunParams{
+		Spec:          spec,
+		Cluster:       machine,
+		PilotCores:    ps.Cores,
+		PilotWalltime: ps.Walltime,
+		Pilots:        ps.Pilots,
+		Chaos:         chaos,
+		NewEngine: func(seed int64) core.Engine {
+			return engines.NewAmberVirtual(2881, seed)
+		},
+		Seed:    spec.Seed,
+		OnStart: func(s *core.Simulation) { *simPtr = s },
+	}, simPtr
+}
+
+// TestChaosDuringRespace: scripted resource faults bracketing the
+// refit window — a node loss while the controller is accumulating
+// saturation and a preemption right around the refit itself — must not
+// stop the ladder re-fit, drop replicas, or break bit-reproducibility.
+// The quiet run locates the refit's virtual time first, so the plan
+// stays pinned to the refit no matter how the schedule drifts.
+func TestChaosDuringRespace(t *testing.T) {
+	quietParams, quietSim := respaceChaosParams(t, nil)
+	quiet, err := Run(quietParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quietHist := (*quietSim).RespaceHistory()
+	if len(quietHist) == 0 {
+		t.Fatal("quiet run never respaced; the chaos overlap has nothing to target")
+	}
+	refitAt := quietHist[0].At
+
+	plan := &pilot.ChaosPlan{Events: []pilot.ChaosEvent{
+		{At: refitAt * 0.5, Pilot: 0, Kind: pilot.ChaosNodeLoss, Cores: 6},
+		{At: refitAt * 0.95, Pilot: 1, Kind: pilot.ChaosPreempt, Notice: 30},
+	}}
+	run := func() (*core.Report, []core.RespaceRecord) {
+		p, simPtr := respaceChaosParams(t, plan)
+		rep, err := Run(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep, (*simPtr).RespaceHistory()
+	}
+	a, histA := run()
+	if a.Dropped != 0 {
+		t.Fatalf("chaos-during-respace run dropped %d replicas, want 0", a.Dropped)
+	}
+	if a.Preemptions < 1 {
+		t.Fatalf("chaos plan never preempted (%d), events mistimed", a.Preemptions)
+	}
+	if a.Relaunches < 1 {
+		t.Fatal("chaos plan relaunched nothing; faults did not land in-flight")
+	}
+	if len(histA) == 0 {
+		t.Fatal("faults suppressed the refit entirely")
+	}
+	if a.ExchangeEvents != quiet.ExchangeEvents {
+		t.Fatalf("chaos run fired %d events, quiet run %d — the run did not converge",
+			a.ExchangeEvents, quiet.ExchangeEvents)
+	}
+	b, histB := run()
+	if a.SlotFingerprint != b.SlotFingerprint || a.SlotRows != b.SlotRows {
+		t.Fatalf("chaos-during-respace run not reproducible: %d rows %016x vs %d rows %016x",
+			a.SlotRows, a.SlotFingerprint, b.SlotRows, b.SlotFingerprint)
+	}
+	if len(histA) != len(histB) || histA[0].Event != histB[0].Event {
+		t.Fatalf("refit schedule not reproducible: %+v vs %+v", histA, histB)
 	}
 }
 

@@ -138,3 +138,72 @@ func TestLoadFailsFast(t *testing.T) {
 		t.Fatalf("empty checkpoint error %v", err)
 	}
 }
+
+// TestWriteAtomicFailurePaths walks the distinct ways a write can fail
+// mid-flight and asserts the two contract points each time: the error
+// names the failing stage, and the destination (plus any unrelated
+// files) is exactly as it was before the call. chmod-based permission
+// traps do not work under root (CI containers), so the cases trip
+// filesystem-structure errors instead.
+func TestWriteAtomicFailurePaths(t *testing.T) {
+	t.Run("parent is a file", func(t *testing.T) {
+		dir := t.TempDir()
+		parent := filepath.Join(dir, "parent")
+		if err := os.WriteFile(parent, []byte("not a dir"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		err := ckpt.WriteAtomic(filepath.Join(parent, "snap.json"), []byte("x"))
+		if err == nil || !strings.Contains(err.Error(), "staging") {
+			t.Fatalf("error %v, want a staging failure", err)
+		}
+		got, readErr := os.ReadFile(parent)
+		if readErr != nil || string(got) != "not a dir" {
+			t.Fatalf("parent file disturbed: %q, %v", got, readErr)
+		}
+	})
+
+	t.Run("destination is a directory", func(t *testing.T) {
+		dir := t.TempDir()
+		dest := filepath.Join(dir, "snap.json")
+		if err := os.Mkdir(dest, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		err := ckpt.WriteAtomic(dest, []byte("x"))
+		if err == nil || !strings.Contains(err.Error(), "publishing") {
+			t.Fatalf("error %v, want a publishing failure", err)
+		}
+		fi, statErr := os.Stat(dest)
+		if statErr != nil || !fi.IsDir() {
+			t.Fatalf("destination directory disturbed: %v, %v", fi, statErr)
+		}
+		// The staged temp file must not linger after the failed rename.
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) != 1 {
+			t.Fatalf("failed publish left %d entries, want just the destination", len(entries))
+		}
+	})
+
+	t.Run("pre-existing temp file survives", func(t *testing.T) {
+		// Temp names are unique per call, so a stale temp from a
+		// crashed writer is never clobbered or published.
+		dir := t.TempDir()
+		path := filepath.Join(dir, "snap.json")
+		stale := path + ".tmp-stale"
+		if err := os.WriteFile(stale, []byte("stale"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := ckpt.WriteAtomic(path, []byte("fresh")); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ckpt.Load(path)
+		if err != nil || string(got) != "fresh" {
+			t.Fatalf("destination %q, %v", got, err)
+		}
+		if data, err := os.ReadFile(stale); err != nil || string(data) != "stale" {
+			t.Fatalf("stale temp disturbed: %q, %v", data, err)
+		}
+	})
+}

@@ -66,6 +66,11 @@ type Simulation struct {
 	// full run regardless of the bound.
 	HistoryTail int   `json:"history_tail,omitempty"`
 	Seed        int64 `json:"seed,omitempty"`
+	// Respace enables online ladder respacing under the "feedback"
+	// trigger: a dimension whose controller stays saturated has its
+	// window values re-fitted from measured per-pair acceptance at a
+	// checkpoint boundary. Rejected for any other trigger.
+	Respace *RespaceConfig `json:"respace,omitempty"`
 	// Serve optionally enables the live observability HTTP server of
 	// cmd/repex (GET /status, /stats, /metrics). The -listen flag
 	// overrides it.
@@ -106,6 +111,23 @@ func (t TargetAcceptance) MarshalJSON() ([]byte, error) {
 // IsZero reports an unconfigured set point.
 func (t TargetAcceptance) IsZero() bool {
 	return t.Scalar == 0 && len(t.PerDim) == 0
+}
+
+// RespaceConfig is the JSON shape of the respace block.
+type RespaceConfig struct {
+	// Enabled turns the mechanism on; a present-but-disabled block is
+	// valid and inert.
+	Enabled bool `json:"enabled"`
+	// AfterSteps is how many consecutive saturated controller steps a
+	// dimension must accumulate before it is re-fitted (0: the built-in
+	// default).
+	AfterSteps int `json:"after_steps,omitempty"`
+	// MaxRefits bounds refits per dimension (0: the built-in default).
+	MaxRefits int `json:"max_refits,omitempty"`
+	// SkipDims opts dimension type codes out of respacing (e.g. ["U"]);
+	// a code's opt-out applies to every dimension of that type, and
+	// codes matching no dimension are rejected.
+	SkipDims []string `json:"skip_dims,omitempty"`
 }
 
 // Serve configures the observability endpoint.
@@ -326,6 +348,30 @@ func (s *Simulation) ToSpec() (*core.Spec, error) {
 	if s.WindowEvents < 0 {
 		return nil, fmt.Errorf("config: window_events must be non-negative, got %d", s.WindowEvents)
 	}
+	// The respace block, like target_acceptance, only means something
+	// under the feedback controller: its firing condition is the
+	// controller's saturation diagnostic.
+	if s.Respace != nil && s.Respace.Enabled {
+		if s.Trigger != "feedback" {
+			return nil, fmt.Errorf("config: respace is enabled but trigger is %q; ladder respacing requires \"trigger\": \"feedback\"",
+				spec.TriggerName())
+		}
+		if s.Respace.AfterSteps < 0 {
+			return nil, fmt.Errorf("config: respace after_steps must be non-negative, got %d", s.Respace.AfterSteps)
+		}
+		if s.Respace.MaxRefits < 0 {
+			return nil, fmt.Errorf("config: respace max_refits must be non-negative, got %d", s.Respace.MaxRefits)
+		}
+		disabled, err := s.Respace.skipDims(spec.Dims)
+		if err != nil {
+			return nil, err
+		}
+		spec.Respace = &core.RespaceSpec{
+			AfterSteps: s.Respace.AfterSteps,
+			MaxRefits:  s.Respace.MaxRefits,
+			Disabled:   disabled,
+		}
+	}
 	switch s.FaultPolicy {
 	case "", "drop":
 		spec.FaultPolicy = core.FaultDrop
@@ -371,6 +417,34 @@ func (t TargetAcceptance) perDimTargets(dims []core.Dimension) ([]float64, error
 		}
 	}
 	return targets, nil
+}
+
+// skipDims resolves the skip_dims code list against the actual exchange
+// dimensions, mirroring perDimTargets: a code opts out every dimension
+// of its type, and unknown or unmatched codes are configuration errors.
+func (r *RespaceConfig) skipDims(dims []core.Dimension) ([]bool, error) {
+	if len(r.SkipDims) == 0 {
+		return nil, nil
+	}
+	disabled := make([]bool, len(dims))
+	for _, code := range r.SkipDims {
+		typ, err := exchange.ParseType(code)
+		if err != nil {
+			return nil, fmt.Errorf("config: respace skip_dims entry %q is not a dimension code: %v", code, err)
+		}
+		matched := false
+		for i, d := range dims {
+			if d.Type == typ {
+				disabled[i] = true
+				matched = true
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("config: respace skip_dims names dimension code %q, but the simulation has no %s dimension",
+				code, typ)
+		}
+	}
+	return disabled, nil
 }
 
 func (d Dim) toDimension() (core.Dimension, error) {

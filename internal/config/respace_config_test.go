@@ -1,0 +1,78 @@
+package config
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRespaceConfig covers parsing and validation of the respace block:
+// a valid block lands on the spec with its per-dimension opt-outs
+// resolved, a disabled block stays inert, and the rejection set mirrors
+// target_acceptance's (dead controls are errors, not silence).
+func TestRespaceConfig(t *testing.T) {
+	base := `{"name":"x",
+	  "dimensions":[{"type":"T","count":4,"min":280,"max":340},
+	                {"type":"U","count":4,"torsion":"phi"}],
+	  "cores_per_replica":1,"steps_per_cycle":1000,"cycles":2,
+	  "trigger":"feedback","async_window_sec":45,
+	  "respace":%s}`
+
+	s, err := ParseSimulation([]byte(fmt.Sprintf(base,
+		`{"enabled":true,"after_steps":4,"max_refits":2,"skip_dims":["U"]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := s.ToSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := spec.Respace
+	if rs == nil {
+		t.Fatal("respace block did not reach the spec")
+	}
+	if rs.AfterSteps != 4 || rs.MaxRefits != 2 {
+		t.Fatalf("knobs lost in translation: after %d, max %d", rs.AfterSteps, rs.MaxRefits)
+	}
+	if len(rs.Disabled) != 2 || rs.Disabled[0] || !rs.Disabled[1] {
+		t.Fatalf("skip_dims [\"U\"] resolved to %v, want [false true]", rs.Disabled)
+	}
+	if rs.Planner != nil {
+		t.Fatal("config layer must leave the planner nil; runtimes wire the collector")
+	}
+
+	// enabled:false keeps the mechanism off even with knobs present.
+	s, err = ParseSimulation([]byte(fmt.Sprintf(base, `{"enabled":false,"after_steps":4}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec, err := s.ToSpec(); err != nil {
+		t.Fatal(err)
+	} else if spec.Respace != nil {
+		t.Fatal("disabled respace block still reached the spec")
+	}
+
+	for _, tc := range []struct {
+		name string
+		rs   string
+	}{
+		{"negative after_steps", `{"enabled":true,"after_steps":-1}`},
+		{"negative max_refits", `{"enabled":true,"max_refits":-1}`},
+		{"unknown dim code", `{"enabled":true,"skip_dims":["Q"]}`},
+		{"code without a dimension", `{"enabled":true,"skip_dims":["S"]}`},
+	} {
+		if _, err := ParseSimulation([]byte(fmt.Sprintf(base, tc.rs))); err == nil {
+			t.Errorf("%s: accepted respace %s", tc.name, tc.rs)
+		}
+	}
+
+	// Enabled respacing on a non-feedback trigger is rejected: its
+	// firing condition is the feedback controller's saturation
+	// diagnostic, so anywhere else it would be silently dead.
+	bad := `{"name":"x",
+	  "dimensions":[{"type":"T","count":4,"min":280,"max":340}],
+	  "cores_per_replica":1,"steps_per_cycle":1000,"cycles":2,
+	  "pattern":"sync","respace":{"enabled":true}}`
+	if _, err := ParseSimulation([]byte(bad)); err == nil {
+		t.Fatal("accepted enabled respace under the barrier trigger")
+	}
+}

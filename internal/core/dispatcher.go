@@ -385,6 +385,9 @@ func (s *Simulation) dispatch(ctx context.Context, tr Trigger) error {
 				dim = event % ndims
 			}
 			if fired {
+				// Respace before the boundary's snapshot so a refit and
+				// the checkpoint that persists it land atomically.
+				s.maybeRespace(fbTr, event)
 				if err := s.maybeSnapshot(tr, event); err != nil {
 					return err
 				}

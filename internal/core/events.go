@@ -130,6 +130,25 @@ type FaultEvent struct {
 // When returns the publication time.
 func (e FaultEvent) When() float64 { return e.At }
 
+// RespaceEvent records one online ladder re-fit: a saturated dimension's
+// window values were replaced by the flat-acceptance re-fit at a
+// checkpoint boundary. Consumers must not mutate the value slices.
+type RespaceEvent struct {
+	At float64
+	// Event is the exchange-event index the refit fired after.
+	Event int
+	// Dim is the re-fitted exchange dimension; Refit its refit ordinal
+	// for this run (1 for the dimension's first refit).
+	Dim   int
+	Refit int
+	// Old and New are the dimension's window values before and after.
+	Old []float64
+	New []float64
+}
+
+// When returns the publication time.
+func (e RespaceEvent) When() float64 { return e.At }
+
 // Bus fans events out to subscribers. The zero value is not usable; use
 // NewBus. A nil *Bus is a valid "disabled" bus for Spec.Bus.
 type Bus struct {

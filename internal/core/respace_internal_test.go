@@ -1,0 +1,68 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestRespaceSane exercises the last-line defence between a planner
+// proposal and the live grid: anything that changes the ladder's
+// contract must be rejected.
+func TestRespaceSane(t *testing.T) {
+	inc := []float64{273, 300, 330, 373}
+	dec := []float64{373, 330, 300, 273}
+	cases := []struct {
+		name string
+		old  []float64
+		next []float64
+		want bool
+	}{
+		{"identity", inc, []float64{273, 300, 330, 373}, true},
+		{"interior move", inc, []float64{273, 310, 350, 373}, true},
+		{"decreasing identity", dec, []float64{373, 330, 300, 273}, true},
+		{"decreasing interior move", dec, []float64{373, 350, 310, 273}, true},
+		{"length change", inc, []float64{273, 330, 373}, false},
+		{"duplicate rung", inc, []float64{273, 300, 300, 373}, false},
+		{"direction flip", inc, []float64{373, 330, 300, 273}, false},
+		{"below envelope", inc, []float64{272, 300, 330, 373}, false},
+		{"above envelope", inc, []float64{273, 300, 330, 374}, false},
+		{"NaN rung", inc, []float64{273, math.NaN(), 330, 373}, false},
+		{"infinite rung", inc, []float64{273, 300, math.Inf(1), 373}, false},
+		{"too short", []float64{300}, []float64{300}, false},
+	}
+	for _, tc := range cases {
+		if got := respaceSane(tc.old, tc.next); got != tc.want {
+			t.Errorf("%s: respaceSane(%v, %v) = %v, want %v",
+				tc.name, tc.old, tc.next, got, tc.want)
+		}
+	}
+}
+
+// TestRespaceSpecValidate covers the parameter guard plus the default
+// resolution helpers.
+func TestRespaceSpecValidate(t *testing.T) {
+	if err := (&RespaceSpec{}).validate(1); err != nil {
+		t.Errorf("zero-value spec rejected: %v", err)
+	}
+	if err := (&RespaceSpec{AfterSteps: -1}).validate(1); err == nil {
+		t.Error("negative after-steps accepted")
+	}
+	if err := (&RespaceSpec{MaxRefits: -1}).validate(1); err == nil {
+		t.Error("negative max-refits accepted")
+	}
+	if err := (&RespaceSpec{Disabled: []bool{true, false}}).validate(1); err == nil {
+		t.Error("disabled list longer than dims accepted")
+	}
+	rs := &RespaceSpec{}
+	if rs.afterSteps() != 12 || rs.maxRefits() != 3 {
+		t.Errorf("defaults: afterSteps %d (want 12), maxRefits %d (want 3)",
+			rs.afterSteps(), rs.maxRefits())
+	}
+	rs = &RespaceSpec{AfterSteps: 4, MaxRefits: 1, Disabled: []bool{true}}
+	if rs.afterSteps() != 4 || rs.maxRefits() != 1 {
+		t.Errorf("explicit values not honoured: %d, %d", rs.afterSteps(), rs.maxRefits())
+	}
+	if !rs.disabled(0) || rs.disabled(1) || rs.disabled(-1) {
+		t.Error("disabled() index handling wrong")
+	}
+}

@@ -71,6 +71,17 @@ type Simulation struct {
 	// record* helpers in tracer.go no-op while it is nil.
 	tracer *trace.Recorder
 
+	// respaceMu guards the fields a live ladder re-fit rewrites against
+	// concurrent status readers: spec.Dims values, slotParams, the refit
+	// counters and the respacing history. Only the dispatcher goroutine
+	// mutates them; HTTP surfaces read through LadderValues and
+	// RespaceHistory.
+	respaceMu sync.Mutex
+	// respacings is the run's refit history (appended by maybeRespace);
+	// refits counts refits per dimension for the MaxRefits budget.
+	respacings []RespaceRecord
+	refits     []int
+
 	// resumeEvents is the exchange-event counter restored from
 	// Spec.Resume (0 for a fresh run); resumeElapsed is the virtual run
 	// time consumed before the snapshot, and resumed marks a restored
@@ -116,6 +127,7 @@ func New(spec *Spec, engine Engine, rt task.Runtime) (*Simulation, error) {
 		s.slotGroups[d] = grid.GroupsAlong(d)
 	}
 	s.dimStride = make([]int, len(spec.Dims))
+	s.refits = make([]int, len(spec.Dims))
 	stride := 1
 	for d := len(spec.Dims) - 1; d >= 0; d-- {
 		s.dimStride[d] = stride

@@ -63,6 +63,15 @@ type Snapshot struct {
 	// (internal/analysis), attached by the OnSnapshot callback so
 	// exchange statistics survive checkpoint/restart. Opaque to core.
 	Analysis json.RawMessage `json:"analysis,omitempty"`
+	// DimValues holds every dimension's window values at capture time,
+	// recorded once a ladder re-fit has changed them from the spec's
+	// originals; resume restores the refitted grid before replica
+	// parameters are rebuilt. Empty for runs that never respaced.
+	DimValues [][]float64 `json:"dim_values,omitempty"`
+	// Respacings is the applied refit history at capture time, so a
+	// resumed run's status surfaces and per-dimension refit budgets
+	// continue where the interrupted run stopped.
+	Respacings []RespaceRecord `json:"respacings,omitempty"`
 }
 
 // ReplicaState is the serializable state of one replica.
@@ -155,6 +164,10 @@ func (s *Simulation) captureSnapshot(tr Trigger, events int) (*Snapshot, error) 
 	for i, row := range s.report.SlotHistory {
 		sn.SlotHistory[i] = append([]int(nil), row...)
 	}
+	if hist := s.RespaceHistory(); len(hist) > 0 {
+		sn.Respacings = hist
+		sn.DimValues = s.LadderValues()
+	}
 	return sn, nil
 }
 
@@ -186,6 +199,34 @@ func (s *Simulation) applySnapshot(sn *Snapshot) error {
 	if len(sn.Replicas) != len(s.replicas) {
 		return fmt.Errorf("core: snapshot has %d replicas, spec %q has %d",
 			len(sn.Replicas), s.spec.Name, len(s.replicas))
+	}
+	// Restore a respaced grid before replica parameters are cloned from
+	// slotParams below: the snapshot's values replace the spec's
+	// originals, exactly as applyRespace left them.
+	if len(sn.DimValues) > 0 {
+		if len(sn.DimValues) != len(s.spec.Dims) {
+			return fmt.Errorf("core: snapshot carries %d dimension grids, spec %q has %d",
+				len(sn.DimValues), s.spec.Name, len(s.spec.Dims))
+		}
+		for d, vals := range sn.DimValues {
+			if len(vals) != len(s.spec.Dims[d].Values) {
+				return fmt.Errorf("core: snapshot dimension %d has %d windows, spec %q has %d",
+					d, len(vals), s.spec.Name, len(s.spec.Dims[d].Values))
+			}
+			s.spec.Dims[d].Values = append([]float64(nil), vals...)
+		}
+		for slot := range s.slotParams {
+			s.slotParams[slot] = s.paramsForSlot(slot)
+		}
+	}
+	if len(sn.Respacings) > 0 {
+		s.respacings = make([]RespaceRecord, len(sn.Respacings))
+		copy(s.respacings, sn.Respacings)
+		for _, rec := range sn.Respacings {
+			if rec.Dim >= 0 && rec.Dim < len(s.refits) {
+				s.refits[rec.Dim]++
+			}
+		}
 	}
 	seenSlot := make([]bool, len(s.replicas))
 	seenID := make([]bool, len(s.replicas))

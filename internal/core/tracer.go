@@ -114,6 +114,21 @@ func (s *Simulation) recordController(fb *FeedbackTrigger, dim, event int) {
 	s.tracer.Record(sp)
 }
 
+// recordRespace emits one ladder re-fit instant on the dimension's
+// controller track; Retries carries the dimension's refit ordinal.
+func (s *Simulation) recordRespace(dim, event, refit int) {
+	if s.tracer == nil {
+		return
+	}
+	s.tracer.Record(trace.Span{
+		Kind:    trace.KindRespace,
+		Start:   s.rt.Now(),
+		Dim:     dim,
+		Event:   event,
+		Retries: refit,
+	})
+}
+
 // recordCheckpoint emits one snapshot-write span (instant in virtual
 // time: capture and delivery consume no simulated clock).
 func (s *Simulation) recordCheckpoint(events int, label string) {

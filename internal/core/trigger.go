@@ -583,6 +583,10 @@ type FeedbackDimStatus struct {
 	// Saturated reports the ladder-spacing diagnostic: the window is
 	// pinned at a clamp and the target remains unreachable.
 	Saturated bool `json:"saturated"`
+	// SatSteps counts the consecutive clamp-pinned control steps behind
+	// Saturated (the respace planner waits for it to exceed its own,
+	// longer threshold before re-fitting the ladder).
+	SatSteps int `json:"sat_steps,omitempty"`
 }
 
 // NewFeedbackTrigger returns an acceptance-targeting policy starting
@@ -823,6 +827,21 @@ func (t *FeedbackTrigger) DimStatus(d int) FeedbackDimStatus {
 	return t.dimStatus(d)
 }
 
+// ResetDim discards one dimension's controller state — measurement
+// ring, integral, saturation run and second-actuator override — so the
+// controller re-warms against a freshly re-fitted ladder instead of
+// steering from measurements of the grid that no longer exists. The
+// dispatcher calls it immediately after an online respace; resetting a
+// dimension the controller has not observed is a no-op.
+func (t *FeedbackTrigger) ResetDim(d int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if d < 0 || d >= len(t.dims) {
+		return
+	}
+	t.dims[d] = feedbackDim{minReadyOverride: -1}
+}
+
 // dimStatus builds dimension d's status with mu held; d must be in
 // range.
 func (t *FeedbackTrigger) dimStatus(d int) FeedbackDimStatus {
@@ -836,6 +855,7 @@ func (t *FeedbackTrigger) dimStatus(d int) FeedbackDimStatus {
 		Integral:  dd.integ,
 		Active:    dd.active,
 		Saturated: dd.saturated,
+		SatSteps:  dd.satRun,
 	}
 	if dd.win.N > 0 {
 		st.Measured = float64(dd.win.Accepted) / float64(dd.win.N)

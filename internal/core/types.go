@@ -233,6 +233,13 @@ type Spec struct {
 	// memory O(tail×replicas) instead of O(events×replicas). 0, the
 	// default, retains the complete history.
 	HistoryTail int
+	// Respace, when non-nil, enables online ladder respacing: a
+	// dimension whose feedback controller stays saturated past the
+	// configured persistence threshold has its window values re-fitted
+	// from measured per-pair acceptance at a checkpoint boundary (see
+	// respace.go). Only meaningful with a FeedbackTrigger; nil disables
+	// the mechanism.
+	Respace *RespaceSpec
 }
 
 // triggerPolicy resolves the exchange-trigger policy: Spec.Trigger when
@@ -335,6 +342,11 @@ func (s *Spec) Validate() error {
 	}
 	if s.HistoryTail < 0 {
 		return fmt.Errorf("spec %q: negative history tail %d", s.Name, s.HistoryTail)
+	}
+	if s.Respace != nil {
+		if err := s.Respace.validate(len(s.Dims)); err != nil {
+			return fmt.Errorf("spec %q: %v", s.Name, err)
+		}
 	}
 	// Policies with parameters veto configurations that cannot make
 	// progress (e.g. a zero-length window, which would livelock).

@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engines"
 	"repro/internal/pilot"
+	"repro/internal/respace"
 	"repro/internal/trace"
 )
 
@@ -51,6 +52,10 @@ type Run struct {
 	state  core.RunState
 	report *core.Report
 	err    error
+	// sim is the constructed simulation once the run goroutine reaches
+	// OnStart; status surfaces read its respace accessors (which are
+	// themselves mutex-guarded against the dispatcher).
+	sim *core.Simulation
 }
 
 // State returns the run's lifecycle state.
@@ -97,6 +102,19 @@ func (r *Run) baseStatus() RunStatus {
 	}
 	if fb, ok := r.spec.Trigger.(*core.FeedbackTrigger); ok {
 		st.Feedback = fb.ControllerStatus()
+	}
+	if rs := r.spec.Respace; rs != nil {
+		respaceSt := &RespaceStatus{
+			Enabled:    true,
+			AfterSteps: rs.AfterSteps,
+			MaxRefits:  rs.MaxRefits,
+		}
+		if r.sim != nil {
+			respaceSt.Refits = r.sim.RefitCounts()
+			respaceSt.Ladders = r.sim.LadderValues()
+			respaceSt.History = r.sim.RespaceHistory()
+		}
+		st.Respace = respaceSt
 	}
 	if r.err != nil && !errors.Is(r.err, core.ErrRunCancelled) {
 		st.Error = r.err.Error()
@@ -259,6 +277,11 @@ func (g *Registry) Launch(l *config.Launch) (*Run, error) {
 	colCfg.WindowEvents = l.Sim.WindowEvents
 	col := analysis.New(colCfg)
 	col.Attach(spec.Bus, analysis.RunBuffer(spec))
+	// The respace planner reads this run's collector; ToSpec left the
+	// field nil because the collector did not exist yet.
+	if spec.Respace != nil {
+		spec.Respace.Planner = respace.NewPlanner(col)
+	}
 	if spec.Resume != nil {
 		if len(spec.Resume.Analysis) > 0 {
 			if err := col.Restore(spec.Resume.Analysis); err != nil {
@@ -354,9 +377,10 @@ func (g *Registry) Launch(l *config.Launch) (*Run, error) {
 			},
 			Seed:    spec.Seed,
 			Context: ctx,
-			OnStart: func(*core.Simulation) {
+			OnStart: func(sim *core.Simulation) {
 				run.mu.Lock()
 				run.state = core.RunRunning
+				run.sim = sim
 				run.mu.Unlock()
 			},
 		})
@@ -638,6 +662,8 @@ func writeSSE(w io.Writer, ev core.Event) {
 		name = "exchange"
 	case core.FaultEvent:
 		name = "fault"
+	case core.RespaceEvent:
+		name = "respace"
 	}
 	data, err := json.Marshal(ev)
 	if err != nil {

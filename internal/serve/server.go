@@ -80,6 +80,10 @@ type RunStatus struct {
 	// acceptance, window/MinReady actuators and the ladder-spacing
 	// saturation diagnostic.
 	Feedback []core.FeedbackDimStatus `json:"feedback,omitempty"`
+	// Respace is the online ladder-respacing state of a run that enables
+	// it (nil otherwise): configuration, per-dimension refit counts, the
+	// current window values and the applied refit history.
+	Respace *RespaceStatus `json:"respace,omitempty"`
 	// TraceCapacity, TraceSpans and TraceDropped describe the attached
 	// flight recorder: ring size, total spans recorded and spans evicted
 	// by ring overflow. All zero when no recorder is attached.
@@ -88,6 +92,23 @@ type RunStatus struct {
 	TraceDropped  uint64 `json:"trace_dropped,omitempty"`
 	// Error carries the failure message when State is "failed".
 	Error string `json:"error,omitempty"`
+}
+
+// RespaceStatus surfaces a run's online ladder-respacing state on
+// /status and feeds the repex_respacings_total / repex_ladder_value
+// metric families.
+type RespaceStatus struct {
+	// Enabled echoes the configuration; AfterSteps and MaxRefits are
+	// the resolved thresholds (0 = built-in default).
+	Enabled    bool `json:"enabled"`
+	AfterSteps int  `json:"after_steps,omitempty"`
+	MaxRefits  int  `json:"max_refits,omitempty"`
+	// Refits counts applied refits per dimension.
+	Refits []int `json:"refits"`
+	// Ladders holds every dimension's current window values.
+	Ladders [][]float64 `json:"ladders,omitempty"`
+	// History is the applied refit history in order.
+	History []core.RespaceRecord `json:"history,omitempty"`
 }
 
 // Server serves the observability endpoints for one run.
@@ -430,6 +451,38 @@ func writeMetrics(b *strings.Builder, views []runView) {
 			func(f core.FeedbackDimStatus) float64 { return float64(f.MinReady) })
 		feedbackGauge("repex_feedback_integral", "Accumulated acceptance error (I term) per dimension.",
 			func(f core.FeedbackDimStatus) float64 { return f.Integral })
+	}
+
+	// Respace families, present only when some run enables online ladder
+	// respacing (mirrors the feedback-family gating above).
+	anyRespace := false
+	for _, vw := range views {
+		if vw.st.Respace != nil {
+			anyRespace = true
+			break
+		}
+	}
+	if anyRespace {
+		family("repex_respacings_total", "Online ladder re-fits applied per dimension.", "counter", func(vw runView) {
+			if vw.st.Respace == nil {
+				return
+			}
+			for d, n := range vw.st.Respace.Refits {
+				fmt.Fprintf(b, "repex_respacings_total%s %d\n",
+					vw.lbl(fmt.Sprintf("dim=\"%d\"", d)), n)
+			}
+		})
+		family("repex_ladder_value", "Current window value per dimension slot (moves when a re-fit lands).", "gauge", func(vw runView) {
+			if vw.st.Respace == nil {
+				return
+			}
+			for d, vals := range vw.st.Respace.Ladders {
+				for i, v := range vals {
+					fmt.Fprintf(b, "repex_ladder_value%s %s\n",
+						vw.lbl(fmt.Sprintf("dim=\"%d\",slot=\"%d\"", d, i)), fmtFloat(v))
+				}
+			}
+		})
 	}
 
 	counter("repex_preemptions_total", "Pilot preemption notices received.",

@@ -79,3 +79,57 @@ func TestAnalyzeMixingHalfTripDoesNotCount(t *testing.T) {
 		t.Errorf("round trips %d for a half traversal, want 0", s.RoundTrips)
 	}
 }
+
+func TestAnalyzeMixingSingleReplica(t *testing.T) {
+	// One replica sweeping the whole ladder and back: one round trip,
+	// full coverage, unit displacement every sub-cycle.
+	history := [][]int{{0}, {1}, {2}, {1}, {0}}
+	s, err := AnalyzeMixing(history, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.RoundTrips != 1 {
+		t.Errorf("round trips %d, want 1", s.RoundTrips)
+	}
+	if s.VisitedFraction != 1 {
+		t.Errorf("visited fraction %v, want 1", s.VisitedFraction)
+	}
+	if s.MeanDisplacement != 1 {
+		t.Errorf("displacement %v, want 1", s.MeanDisplacement)
+	}
+}
+
+func TestAnalyzeMixingSingleSlot(t *testing.T) {
+	// A one-slot ladder is degenerate: bottom and top coincide, so no
+	// round trip is ever completed, every replica trivially visits
+	// everything, and nothing can move.
+	history := [][]int{{0, 0}, {0, 0}, {0, 0}}
+	s, err := AnalyzeMixing(history, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.RoundTrips != 0 {
+		t.Errorf("round trips %d, want 0 (endpoints coincide)", s.RoundTrips)
+	}
+	if s.VisitedFraction != 1 {
+		t.Errorf("visited fraction %v, want 1", s.VisitedFraction)
+	}
+	if s.MeanDisplacement != 0 {
+		t.Errorf("displacement %v, want 0", s.MeanDisplacement)
+	}
+}
+
+func TestAnalyzeMixingSingleRow(t *testing.T) {
+	// A single sub-cycle has no transitions: displacement must be 0 by
+	// construction, not NaN from a zero division.
+	s, err := AnalyzeMixing([][]int{{0, 2, 1}}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MeanDisplacement != 0 {
+		t.Errorf("displacement %v, want 0 with no transitions", s.MeanDisplacement)
+	}
+	if math.Abs(s.VisitedFraction-1.0/3) > 1e-12 {
+		t.Errorf("visited fraction %v, want 1/3", s.VisitedFraction)
+	}
+}

@@ -50,6 +50,10 @@ const (
 	// KindResource is one pilot lifecycle instant (launch, node-loss
 	// shrink, preemption notice, resize, expiry) on the pilot's track.
 	KindResource
+	// KindRespace is one online ladder re-fit instant on the dimension's
+	// controller track: the saturated dimension's window values were
+	// replaced by the flat-acceptance re-fit.
+	KindRespace
 )
 
 // String names the kind.
@@ -71,6 +75,8 @@ func (k Kind) String() string {
 		return "fault"
 	case KindResource:
 		return "resource"
+	case KindRespace:
+		return "respace"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -307,6 +313,9 @@ func Export(spans []Span) ([]byte, error) {
 			}
 			emit(name, sp, pidPilots, sp.Pilot,
 				map[string]any{"cores": sp.Pairs})
+		case KindRespace:
+			emit("respace", sp, pidControl, sp.Dim,
+				map[string]any{"event": sp.Event, "refit": sp.Retries})
 		}
 	}
 

@@ -143,6 +143,23 @@ const (
 	FaultRelaunch = core.FaultRelaunch
 )
 
+// Online ladder respacing: Spec.Respace arms the actuator behind the
+// feedback trigger's saturation diagnostic — a persistently saturated
+// dimension has its window values re-fitted from the measured per-pair
+// acceptance profile (internal/respace supplies the collector-backed
+// planner) and the run continues on the new grid.
+type (
+	// RespaceSpec configures online ladder respacing on a Spec.
+	RespaceSpec = core.RespaceSpec
+	// RespacePlanner proposes re-fitted ladders for saturated dimensions.
+	RespacePlanner = core.RespacePlanner
+	// RespaceRecord is one applied refit, as reported by
+	// Simulation.RespaceHistory and carried through snapshots.
+	RespaceRecord = core.RespaceRecord
+	// RespaceEvent is the bus event published when a refit is applied.
+	RespaceEvent = core.RespaceEvent
+)
+
 // Checkpoint/restart: a Snapshot captures a run after an exchange event
 // (Spec.SnapshotEvery / Spec.OnSnapshot) and Spec.Resume restores it, so
 // runs longer than one pilot walltime chain across allocations.

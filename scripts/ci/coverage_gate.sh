@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Coverage gate: the full test suite's statement coverage must stay at
+# or above the checked-in floor (COVERAGE_FLOOR in lib.sh). The floor
+# ratchets up as tests grow; a drop below it means tests were deleted
+# or new code landed untested.
+set -euo pipefail
+# shellcheck source=scripts/ci/lib.sh
+. "$(dirname "$0")/lib.sh"
+cd "$(repo_root)"
+
+profile=$(mktemp /tmp/repro-cover.XXXXXX)
+trap 'rm -f "$profile"' EXIT
+go test -coverprofile="$profile" ./...
+check_coverage "$profile"

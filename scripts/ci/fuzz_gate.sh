@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Fuzz gate: a short coverage-guided fuzz of the daemon's
+# network-facing launch parser, seeded from every committed config
+# file. 30 s finds shallow panics (the kind config refactors
+# introduce) without holding the build hostage; crashers land in
+# internal/config/testdata/fuzz/ for triage.
+set -euo pipefail
+# shellcheck source=scripts/ci/lib.sh
+. "$(dirname "$0")/lib.sh"
+cd "$(repo_root)"
+
+go test ./internal/config/ -fuzz FuzzParseLaunch -fuzztime 30s

@@ -47,3 +47,25 @@ stop() {
     return 1
   fi
 }
+
+# COVERAGE_FLOOR is the checked-in statement-coverage gate (percent)
+# that check_coverage enforces. Raise it as coverage grows; never lower
+# it to make a build pass — deleting tests is what it exists to catch.
+COVERAGE_FLOOR=74
+
+# check_coverage PROFILE: asserts `go tool cover` total statement
+# coverage of an existing -coverprofile file is at or above
+# COVERAGE_FLOOR percent.
+check_coverage() {
+  local total
+  total=$(go tool cover -func="$1" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+  if [ -z "$total" ]; then
+    echo "no total in coverage profile $1" >&2
+    return 1
+  fi
+  if ! awk -v t="$total" -v f="$COVERAGE_FLOOR" 'BEGIN {exit !(t >= f)}'; then
+    echo "total coverage ${total}% is below the ${COVERAGE_FLOOR}% floor" >&2
+    return 1
+  fi
+  echo "total coverage ${total}% (floor ${COVERAGE_FLOOR}%)"
+}
